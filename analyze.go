@@ -1,0 +1,233 @@
+package transientbd
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"transientbd/internal/core"
+	"transientbd/internal/simnet"
+	"transientbd/internal/trace"
+)
+
+// Record is one request's residence at one server, as captured by passive
+// tracing: the request (call) message's arrival and the response (return)
+// message's departure. Timestamps are offsets from any common epoch.
+type Record struct {
+	// Server names the host the request visited.
+	Server string
+	// Class is the request class (URL pattern, query template, ...).
+	// Classes drive throughput normalization; use "" for single-class
+	// workloads.
+	Class string
+	// Arrive and Depart bound the request's residence at the server.
+	Arrive, Depart time.Duration
+	// DownstreamWait is time within the residence spent blocked on calls
+	// to other tiers, if known (improves service-time estimation).
+	DownstreamWait time.Duration
+}
+
+// Config tunes an analysis. The zero value reproduces the paper's
+// defaults: 50 ms intervals, 100 load bins, 0.2·δ0 tolerance, 95%
+// one-sided confidence.
+type Config struct {
+	// Interval is the monitoring interval length (default 50 ms).
+	Interval time.Duration
+	// Window restricts analysis to [WindowStart, WindowEnd); zero values
+	// cover the whole record span.
+	WindowStart, WindowEnd time.Duration
+	// Bins is the number of load bins for N* estimation (default 100).
+	Bins int
+	// TolFraction is the saturation tolerance as a fraction of the
+	// unsaturated slope (default 0.2).
+	TolFraction float64
+	// POIFraction flags congested intervals with throughput below this
+	// fraction of the ceiling as freezes (default 0.2).
+	POIFraction float64
+	// RawThroughput disables work-unit normalization (single-class
+	// workloads, or ablation).
+	RawThroughput bool
+	// ServiceTimes supplies per-class service times from a separate
+	// low-load calibration; nil estimates them from the records.
+	ServiceTimes map[string]time.Duration
+}
+
+// Episode is one contiguous run of congested intervals at a server.
+type Episode struct {
+	// Start is the beginning of the first congested interval.
+	Start time.Duration
+	// Length is the episode duration.
+	Length time.Duration
+	// Freeze reports whether any interval of the episode was a POI
+	// (near-zero throughput under load).
+	Freeze bool
+}
+
+// ServerAnalysis is the per-server detection result.
+type ServerAnalysis struct {
+	// Server is the analyzed host.
+	Server string
+	// NStar is the estimated congestion point (concurrent requests).
+	NStar float64
+	// TPMax is the throughput ceiling, in work units per second.
+	TPMax float64
+	// Saturated reports whether a knee was confirmed in the data.
+	Saturated bool
+	// CongestedFraction is the fraction of intervals with load beyond
+	// N*.
+	CongestedFraction float64
+	// Episodes lists contiguous congestion episodes, in time order.
+	Episodes []Episode
+	// POITimes are the starts of freeze intervals (high load, ~zero
+	// throughput).
+	POITimes []time.Duration
+	// Load and Throughput are the per-interval series (load in concurrent
+	// requests; throughput in work units/second), aligned to Interval.
+	Load, Throughput []float64
+	// Interval is the series' interval length.
+	Interval time.Duration
+	// WindowStart is the time of the first interval.
+	WindowStart time.Duration
+}
+
+// Report is a whole-system analysis.
+type Report struct {
+	// PerServer maps server name to its analysis.
+	PerServer map[string]*ServerAnalysis
+	// Ranking orders servers by congested fraction, worst first.
+	Ranking []*ServerAnalysis
+}
+
+// ErrNoRecords is returned when Analyze receives no usable records.
+var ErrNoRecords = errors.New("transientbd: no records")
+
+// Analyze runs the paper's detection pipeline over a set of records and
+// reports, per server, the congestion point, the congested intervals and
+// freeze episodes, ranked by transient-bottleneck frequency.
+func Analyze(records []Record, cfg Config) (*Report, error) {
+	if len(records) == 0 {
+		return nil, ErrNoRecords
+	}
+	visits := make([]trace.Visit, 0, len(records))
+	var maxDepart simnet.Time
+	for i, r := range records {
+		if r.Server == "" {
+			return nil, fmt.Errorf("transientbd: record %d has no server", i)
+		}
+		if r.Depart < r.Arrive {
+			return nil, fmt.Errorf("transientbd: record %d departs before it arrives", i)
+		}
+		v := trace.Visit{
+			Server:     r.Server,
+			Class:      r.Class,
+			Arrive:     simnet.FromStdDuration(r.Arrive),
+			Depart:     simnet.FromStdDuration(r.Depart),
+			Downstream: simnet.FromStdDuration(r.DownstreamWait),
+		}
+		if v.Depart > maxDepart {
+			maxDepart = v.Depart
+		}
+		visits = append(visits, v)
+	}
+
+	w := core.Window{
+		Start: simnet.FromStdDuration(cfg.WindowStart),
+		End:   simnet.FromStdDuration(cfg.WindowEnd),
+	}
+	if w.End <= w.Start {
+		w.End = maxDepart + 1
+	}
+	opts := core.Options{
+		Interval:      simnet.FromStdDuration(cfg.Interval),
+		POIFraction:   cfg.POIFraction,
+		RawThroughput: cfg.RawThroughput,
+		NStar: core.NStarOptions{
+			Bins:        cfg.Bins,
+			TolFraction: cfg.TolFraction,
+		},
+	}
+
+	perServer := trace.PerServer(visits)
+	report := &Report{PerServer: make(map[string]*ServerAnalysis, len(perServer))}
+	for name, vs := range perServer {
+		var svc core.ServiceTimes
+		if cfg.ServiceTimes != nil {
+			svc = make(core.ServiceTimes, len(cfg.ServiceTimes))
+			for class, d := range cfg.ServiceTimes {
+				svc[class] = simnet.FromStdDuration(d)
+			}
+		}
+		a, err := core.AnalyzeServer(name, vs, svc, w, opts)
+		if err != nil {
+			return nil, fmt.Errorf("transientbd: analyze %q: %w", name, err)
+		}
+		report.PerServer[name] = convertAnalysis(a)
+	}
+	if len(report.PerServer) == 0 {
+		return nil, ErrNoRecords
+	}
+	for _, sa := range report.PerServer {
+		report.Ranking = append(report.Ranking, sa)
+	}
+	sortRanking(report.Ranking)
+	return report, nil
+}
+
+func convertAnalysis(a *core.Analysis) *ServerAnalysis {
+	sa := &ServerAnalysis{
+		Server:            a.Server,
+		NStar:             a.NStar.NStar,
+		TPMax:             a.NStar.TPMax,
+		Saturated:         a.NStar.Saturated,
+		CongestedFraction: a.CongestedFraction,
+		Load:              a.Load.Values(),
+		Throughput:        a.TP.Values(),
+		Interval:          simnet.Std(a.Interval),
+		WindowStart:       simnet.Std(simnet.Duration(a.Window.Start)),
+	}
+	poiSet := make(map[int]bool, len(a.POIs))
+	for _, idx := range a.POIs {
+		poiSet[idx] = true
+		sa.POITimes = append(sa.POITimes, simnet.Std(simnet.Duration(a.Load.IntervalStart(idx))))
+	}
+	// Collapse consecutive congested intervals into episodes.
+	inEpisode := false
+	var ep Episode
+	flush := func() {
+		if inEpisode {
+			sa.Episodes = append(sa.Episodes, ep)
+			inEpisode = false
+		}
+	}
+	for i, st := range a.States {
+		if st == core.StateCongested {
+			start := simnet.Std(simnet.Duration(a.Load.IntervalStart(i)))
+			if !inEpisode {
+				inEpisode = true
+				ep = Episode{Start: start}
+			}
+			ep.Length += simnet.Std(a.Interval)
+			if poiSet[i] {
+				ep.Freeze = true
+			}
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return sa
+}
+
+func sortRanking(rs []*ServerAnalysis) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0; j-- {
+			a, b := rs[j-1], rs[j]
+			if b.CongestedFraction > a.CongestedFraction ||
+				(b.CongestedFraction == a.CongestedFraction && b.Server < a.Server) {
+				rs[j-1], rs[j] = rs[j], rs[j-1]
+			} else {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package transientbd
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// busyTrace builds a single-server trace with a transient overload phase:
+// capacity 1 req/10ms, 50% baseline utilization; during [2s,2.5s) requests
+// arrive at 2.5× capacity, building a backlog that drains over the
+// following couple of seconds.
+func busyTrace() []Record {
+	var recs []Record
+	service := 10 * time.Millisecond
+	var busyUntil time.Duration
+	at := time.Duration(0)
+	for at < 8*time.Second {
+		gap := 20 * time.Millisecond
+		if at >= 2*time.Second && at < 2500*time.Millisecond {
+			gap = 4 * time.Millisecond
+		}
+		at += gap
+		start := at
+		if busyUntil > start {
+			start = busyUntil
+		}
+		end := start + service
+		busyUntil = end
+		recs = append(recs, Record{Server: "db", Class: "q", Arrive: at, Depart: end})
+	}
+	return recs
+}
+
+func TestAnalyzeDetectsOverloadPhase(t *testing.T) {
+	report, err := Analyze(busyTrace(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := report.PerServer["db"]
+	if db == nil {
+		t.Fatal("missing db analysis")
+	}
+	if !db.Saturated {
+		t.Error("overload phase not detected as saturation")
+	}
+	if db.CongestedFraction < 0.1 || db.CongestedFraction > 0.5 {
+		t.Errorf("congested fraction = %.3f, want ~0.25 (2s of 8s)", db.CongestedFraction)
+	}
+	// Episodes must fall inside the overload phase (allow detection edge
+	// effects at the boundaries, and the backlog drains past 4s).
+	if len(db.Episodes) == 0 {
+		t.Fatal("no congestion episodes")
+	}
+	for _, ep := range db.Episodes {
+		if ep.Start < 1900*time.Millisecond || ep.Start > 6*time.Second {
+			t.Errorf("episode at %v outside the overload window", ep.Start)
+		}
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	if _, err := Analyze(nil, Config{}); !errors.Is(err, ErrNoRecords) {
+		t.Errorf("err = %v, want ErrNoRecords", err)
+	}
+	bad := []Record{{Server: "", Arrive: 0, Depart: time.Second}}
+	if _, err := Analyze(bad, Config{}); err == nil {
+		t.Error("want error for empty server name")
+	}
+	rev := []Record{{Server: "s", Arrive: time.Second, Depart: 0}}
+	if _, err := Analyze(rev, Config{}); err == nil {
+		t.Error("want error for reversed timestamps")
+	}
+}
+
+func TestAnalyzeWindowRestriction(t *testing.T) {
+	recs := busyTrace()
+	report, err := Analyze(recs, Config{
+		WindowStart: 0,
+		WindowEnd:   2 * time.Second, // quiet phase only
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := report.PerServer["db"]
+	if db.CongestedFraction > 0.05 {
+		t.Errorf("quiet-window congested fraction = %.3f, want ~0", db.CongestedFraction)
+	}
+}
+
+func TestAnalyzeRankingOrder(t *testing.T) {
+	recs := busyTrace()
+	// Add a second, quiet server.
+	for at := time.Duration(0); at < 8*time.Second; at += 100 * time.Millisecond {
+		recs = append(recs, Record{
+			Server: "web", Class: "p",
+			Arrive: at, Depart: at + 5*time.Millisecond,
+		})
+	}
+	report, err := Analyze(recs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Ranking) != 2 {
+		t.Fatalf("ranking = %d entries, want 2", len(report.Ranking))
+	}
+	if report.Ranking[0].Server != "db" {
+		t.Errorf("worst = %s, want db", report.Ranking[0].Server)
+	}
+	if report.Ranking[0].CongestedFraction < report.Ranking[1].CongestedFraction {
+		t.Error("ranking not descending")
+	}
+}
+
+func TestAnalyzeSuppliedServiceTimes(t *testing.T) {
+	recs := busyTrace()
+	report, err := Analyze(recs, Config{
+		ServiceTimes: map[string]time.Duration{"q": 10 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.PerServer["db"] == nil {
+		t.Fatal("missing analysis")
+	}
+}
+
+func TestAnalyzeSeriesShape(t *testing.T) {
+	report, err := Analyze(busyTrace(), Config{Interval: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := report.PerServer["db"]
+	if db.Interval != 100*time.Millisecond {
+		t.Errorf("interval = %v", db.Interval)
+	}
+	if len(db.Load) != len(db.Throughput) {
+		t.Error("series lengths differ")
+	}
+	// 8s+ of trace at 100ms ⇒ ≥80 intervals.
+	if len(db.Load) < 80 {
+		t.Errorf("series length = %d, want >= 80", len(db.Load))
+	}
+}
+
+func TestEpisodeAggregation(t *testing.T) {
+	report, err := Analyze(busyTrace(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := report.PerServer["db"]
+	var total time.Duration
+	for _, ep := range db.Episodes {
+		if ep.Length <= 0 {
+			t.Fatalf("episode with non-positive length: %+v", ep)
+		}
+		total += ep.Length
+	}
+	// Total episode time must equal congested fraction × window span.
+	wantTotal := time.Duration(db.CongestedFraction * float64(len(db.Load)) * float64(db.Interval))
+	if total != wantTotal {
+		t.Errorf("episode total = %v, want %v", total, wantTotal)
+	}
+}

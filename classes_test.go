@@ -1,0 +1,77 @@
+package transientbd
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClassesDrillDown(t *testing.T) {
+	recs := busyTrace() // class "q" on server "db" with a burst phase
+	stats, err := Classes(recs, "db", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 1 {
+		t.Fatalf("classes = %d, want 1", len(stats))
+	}
+	q := stats[0]
+	if q.Class != "q" || q.Count == 0 {
+		t.Errorf("stat = %+v", q)
+	}
+	if q.CongestedShare <= 0 {
+		t.Error("burst phase produced no congested completions")
+	}
+	if q.MeanResidence < 10*time.Millisecond {
+		t.Errorf("mean residence = %v, want >= service time", q.MeanResidence)
+	}
+	if q.P95Residence < q.MeanResidence {
+		t.Error("p95 below mean")
+	}
+	if q.CongestedSlowdown <= 1 {
+		t.Errorf("slowdown = %.2f, want > 1 (queueing during the burst)", q.CongestedSlowdown)
+	}
+}
+
+func TestClassesValidation(t *testing.T) {
+	if _, err := Classes(nil, "", Config{}); err == nil {
+		t.Error("want error for empty server")
+	}
+	if _, err := Classes(busyTrace(), "nosuch", Config{}); err == nil {
+		t.Error("want error for unknown server")
+	}
+	bad := []Record{{Server: "db", Arrive: time.Second, Depart: 0}}
+	if _, err := Classes(bad, "db", Config{}); err == nil {
+		t.Error("want error for reversed timestamps")
+	}
+}
+
+func TestChooseIntervalPublicAPI(t *testing.T) {
+	recs := busyTrace()
+	best, table, err := ChooseInterval(recs, "db", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best <= 0 {
+		t.Errorf("best interval = %v", best)
+	}
+	if len(table) == 0 {
+		t.Fatal("empty scoring table")
+	}
+	var bestScore float64
+	for _, c := range table {
+		if c.Score > bestScore {
+			bestScore = c.Score
+		}
+	}
+	for _, c := range table {
+		if c.Interval == best && c.Score != bestScore {
+			t.Errorf("winner %v does not carry the top score", best)
+		}
+	}
+	if _, _, err := ChooseInterval(recs, "", nil); err == nil {
+		t.Error("want error for empty server")
+	}
+	if _, _, err := ChooseInterval(recs, "nosuch", nil); err == nil {
+		t.Error("want error for unknown server")
+	}
+}

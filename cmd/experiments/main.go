@@ -1,0 +1,23 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation on the simulated testbed.
+//
+// Usage:
+//
+//	experiments list
+//	experiments run fig9-11          # full 3-minute runs
+//	experiments run all -quick       # reduced windows
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"transientbd/internal/cli"
+)
+
+func main() {
+	if err := cli.Experiments(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,21 @@
+// Command ntiersim runs the simulated four-tier RUBBoS-style testbed and
+// writes its passive-tracing visit log as JSON Lines, ready for tbdetect.
+//
+// Usage:
+//
+//	ntiersim -users 8000 -duration 3m -speedstep -out trace.jsonl
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"transientbd/internal/cli"
+)
+
+func main() {
+	if err := cli.NtierSim(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

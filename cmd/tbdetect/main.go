@@ -1,0 +1,23 @@
+// Command tbdetect detects transient bottlenecks in a visit trace: for
+// each server it reports the congestion point N*, the fraction of
+// fine-grained intervals spent congested, and freeze (POI) counts, ranked
+// worst-first.
+//
+// Usage:
+//
+//	ntiersim -users 8000 -out trace.jsonl && tbdetect -in trace.jsonl
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"transientbd/internal/cli"
+)
+
+func main() {
+	if err := cli.TBDetect(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

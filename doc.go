@@ -1,0 +1,43 @@
+// Package transientbd detects transient performance bottlenecks in n-tier
+// applications through fine-grained load/throughput correlation analysis.
+//
+// It is a from-scratch Go reproduction of Wang et al., "Detecting
+// Transient Bottlenecks in n-Tier Applications through Fine-Grained
+// Analysis" (ICDCS 2013). Transient bottlenecks are congestion episodes
+// lasting tens of milliseconds — invisible to conventional monitoring
+// that samples at seconds — yet frequent enough to produce long-tail,
+// bi-modal response-time distributions while every resource looks
+// under-utilized.
+//
+// # The method
+//
+// The only input is a passive record of every request's arrival and
+// departure timestamp at every server (obtainable from network taps,
+// proxies, or access logs). For each short interval (50 ms by default)
+// the analyzer computes each server's load (time-weighted concurrent
+// requests) and throughput (completed requests, normalized into work
+// units so mixed request classes are comparable). Plotting throughput
+// against load traces a "main sequence curve" whose knee — the congestion
+// point N* — is located by statistical intervention analysis. Intervals
+// whose load exceeds N* are transient congestion episodes; congested
+// intervals with near-zero throughput are freezes (e.g. stop-the-world
+// garbage collection).
+//
+// # Quick start
+//
+//	records := []transientbd.Record{ /* from your tracing */ }
+//	report, err := transientbd.Analyze(records, transientbd.Config{})
+//	if err != nil { ... }
+//	for _, s := range report.Ranking {
+//	    fmt.Printf("%s: congested %.1f%% of intervals (N*=%.1f)\n",
+//	        s.Server, 100*s.CongestedFraction, s.NStar)
+//	}
+//
+// # Simulation testbed
+//
+// The package also ships the full simulated RUBBoS-style testbed used to
+// validate the method (RunScenario): a four-tier web deployment with
+// switchable JVM garbage collectors and an Intel SpeedStep CPU frequency
+// governor, reproducing both of the paper's case studies. See the
+// examples directory and EXPERIMENTS.md.
+package transientbd

@@ -1,0 +1,84 @@
+package transientbd_test
+
+import (
+	"fmt"
+	"time"
+
+	"transientbd"
+)
+
+// ExampleAnalyze feeds hand-built records — as they would come from a
+// packet capture or access log — to the detector. The server runs one
+// request at a time (capacity 100/s); a burst in the middle makes
+// requests pile up, which the analyzer reports as a congestion episode.
+func ExampleAnalyze() {
+	var records []transientbd.Record
+	service := 10 * time.Millisecond
+	var busyUntil time.Duration
+	at := time.Duration(0)
+	for at < 8*time.Second {
+		gap := 20 * time.Millisecond // 50% utilization baseline
+		if at >= 2*time.Second && at < 2500*time.Millisecond {
+			gap = 4 * time.Millisecond // 2.5× capacity burst
+		}
+		at += gap
+		start := at
+		if busyUntil > start {
+			start = busyUntil
+		}
+		busyUntil = start + service
+		records = append(records, transientbd.Record{
+			Server: "db", Class: "query",
+			Arrive: at, Depart: busyUntil,
+		})
+	}
+
+	report, err := transientbd.Analyze(records, transientbd.Config{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	db := report.PerServer["db"]
+	fmt.Printf("saturated: %v\n", db.Saturated)
+	fmt.Printf("first episode starts around second %d\n", int(db.Episodes[0].Start.Seconds()))
+	// Output:
+	// saturated: true
+	// first episode starts around second 2
+}
+
+// ExampleAnalyze_ranking shows the whole-system view: servers ranked by
+// how often they are transiently congested.
+func ExampleAnalyze_ranking() {
+	var records []transientbd.Record
+	// A quiet web server...
+	for at := time.Duration(0); at < 4*time.Second; at += 100 * time.Millisecond {
+		records = append(records, transientbd.Record{
+			Server: "web", Class: "page",
+			Arrive: at, Depart: at + 2*time.Millisecond,
+		})
+	}
+	// ...and a database that is overloaded for one second.
+	var busyUntil time.Duration
+	for at := time.Duration(0); at < 4*time.Second; at += 12 * time.Millisecond {
+		gap := at
+		if at >= time.Second && at < 2*time.Second {
+			gap = at // dense phase handled below via extra records
+		}
+		start := gap
+		if busyUntil > start {
+			start = busyUntil
+		}
+		busyUntil = start + 10*time.Millisecond
+		records = append(records, transientbd.Record{
+			Server: "db", Class: "q", Arrive: gap, Depart: busyUntil,
+		})
+	}
+	report, err := transientbd.Analyze(records, transientbd.Config{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("worst server:", report.Ranking[0].Server)
+	// Output:
+	// worst server: db
+}

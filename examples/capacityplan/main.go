@@ -1,0 +1,51 @@
+// capacityplan sweeps the user population (a miniature of the paper's
+// Fig 2) and reports, for each workload, the throughput, the mean
+// response time, and which server the fine-grained analysis blames — so a
+// capacity planner can see not just *where* the knee is but *why*.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"transientbd"
+)
+
+func main() {
+	fmt.Printf("%8s  %12s  %10s  %-10s %s\n",
+		"USERS", "PAGES/S", "MEAN RT", "WORST", "CONGESTED")
+	var prevTP float64
+	knee := 0
+	for _, users := range []int{2000, 4000, 6000, 8000, 10000, 12000} {
+		res, report, err := transientbd.AnalyzeScenario(transientbd.Scenario{
+			Users:    users,
+			Duration: 45 * time.Second,
+			Ramp:     10 * time.Second,
+			Seed:     int64(users),
+			Bursty:   true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var meanRT float64
+		for _, rt := range res.ResponseTimes {
+			meanRT += rt
+		}
+		meanRT /= float64(len(res.ResponseTimes))
+		worst := report.Ranking[0]
+		fmt.Printf("%8d  %12.0f  %9.3fs  %-10s %8.1f%%\n",
+			users, res.PagesPerSecond, meanRT,
+			worst.Server, 100*worst.CongestedFraction)
+		if knee == 0 && prevTP > 0 && res.PagesPerSecond < prevTP*1.08 {
+			knee = users
+		}
+		prevTP = res.PagesPerSecond
+	}
+	if knee > 0 {
+		fmt.Printf("\nthroughput stops scaling near %d users — provision below that,\n", knee)
+		fmt.Println("or scale out the tier named in the WORST column first.")
+	} else {
+		fmt.Println("\nthroughput still scaling at the top of the sweep")
+	}
+}

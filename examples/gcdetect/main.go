@@ -1,0 +1,69 @@
+// gcdetect reproduces the paper's first case study (§IV-A/B) through the
+// public API: a Tomcat tier running a JDK 1.5-style stop-the-world
+// collector freezes under load — visible as POIs (congested intervals
+// with zero throughput) — and upgrading to a JDK 1.6-style concurrent
+// collector removes them.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"transientbd"
+)
+
+func main() {
+	run := func(col transientbd.Collector, label string) *transientbd.ServerAnalysis {
+		res, report, err := transientbd.AnalyzeScenario(transientbd.Scenario{
+			Users:        14000,
+			Duration:     60 * time.Second,
+			Ramp:         15 * time.Second,
+			Seed:         7,
+			AppCollector: col,
+			Bursty:       true,
+			// A longer think time keeps WL 14,000 just below the
+			// saturation knee, so bottlenecks are transient (freezes,
+			// bursts) rather than a standing queue.
+			ThinkTime: 17 * time.Second,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tomcat := report.PerServer["tomcat-1"]
+		if tomcat == nil {
+			log.Fatalf("%s: no tomcat-1 analysis", label)
+		}
+		fmt.Printf("%-22s  %.0f pages/s  tomcat-1: N*=%.1f  congested %.1f%%  freezes %d\n",
+			label, res.PagesPerSecond, tomcat.NStar,
+			100*tomcat.CongestedFraction, len(tomcat.POITimes))
+		return tomcat
+	}
+
+	fmt.Println("WL 14,000, app tier under two collectors:")
+	old := run(transientbd.CollectorSerial, "JDK 1.5 (serial STW)")
+	upgraded := run(transientbd.CollectorConcurrent, "JDK 1.6 (concurrent)")
+
+	fmt.Println()
+	switch {
+	case len(old.POITimes) > 0 && len(upgraded.POITimes) == 0:
+		fmt.Println("diagnosis confirmed: the stop-the-world collector causes the freezes;")
+		fmt.Println("upgrading the collector removes every POI (paper Fig 9b vs Fig 11a).")
+	case len(old.POITimes) == 0:
+		fmt.Println("unexpected: no freezes detected under the serial collector")
+	default:
+		fmt.Printf("freezes reduced from %d to %d after the upgrade\n",
+			len(old.POITimes), len(upgraded.POITimes))
+	}
+
+	if len(old.POITimes) > 0 {
+		fmt.Println("\nfirst freezes under JDK 1.5 (timestamps into the run):")
+		n := len(old.POITimes)
+		if n > 5 {
+			n = 5
+		}
+		for _, at := range old.POITimes[:n] {
+			fmt.Printf("  %v\n", at)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Quickstart: run a simulated four-tier deployment, feed its passive
+// trace to the analyzer, and print the transient-bottleneck ranking.
+//
+// This is the smallest end-to-end use of the public API. The same
+// Analyze call works on records from any real tracing source (packet
+// captures, proxy logs, access logs with arrival/departure pairs).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"transientbd"
+)
+
+func main() {
+	// 1. Produce a trace. Here: the built-in simulated testbed at a
+	//    moderately heavy workload with bursty clients.
+	res, err := transientbd.RunScenario(transientbd.Scenario{
+		Users:    8000,
+		Duration: 60 * time.Second,
+		Ramp:     15 * time.Second,
+		Seed:     42,
+		Bursty:   true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated %v of traffic: %.0f pages/s, %d per-server visit records\n",
+		res.WindowEnd-res.WindowStart, res.PagesPerSecond, len(res.Records))
+
+	// 2. Analyze the trace at 50 ms granularity (the paper's default).
+	report, err := transientbd.Analyze(res.Records, transientbd.Config{
+		WindowStart: res.WindowStart,
+		WindowEnd:   res.WindowEnd,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Act on the ranking.
+	fmt.Println("\ntransient bottleneck ranking (worst first):")
+	for _, s := range report.Ranking {
+		fmt.Printf("  %-10s  N*=%5.1f  congested %5.1f%% of intervals, %d freezes\n",
+			s.Server, s.NStar, 100*s.CongestedFraction, len(s.POITimes))
+	}
+	worst := report.Ranking[0]
+	if worst.CongestedFraction > 0.05 {
+		fmt.Printf("\n%s is a frequent transient bottleneck; its longest episodes:\n", worst.Server)
+		for i, ep := range longest(worst.Episodes, 3) {
+			fmt.Printf("  #%d at +%v for %v (freeze: %v)\n", i+1, ep.Start, ep.Length, ep.Freeze)
+		}
+	} else {
+		fmt.Println("\nno server is congested more than 5% of the time")
+	}
+}
+
+// longest returns the n longest episodes.
+func longest(eps []transientbd.Episode, n int) []transientbd.Episode {
+	sorted := make([]transientbd.Episode, len(eps))
+	copy(sorted, eps)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j].Length > sorted[j-1].Length; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	if len(sorted) > n {
+		sorted = sorted[:n]
+	}
+	return sorted
+}

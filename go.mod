@@ -1,0 +1,3 @@
+module transientbd
+
+go 1.22

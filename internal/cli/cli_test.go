@@ -1,0 +1,336 @@
+package cli
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestNtierSimWritesTrace(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "visits.jsonl")
+	var stdout, stderr bytes.Buffer
+	err := NtierSim([]string{
+		"-users", "200",
+		"-duration", "10s",
+		"-ramp", "3s",
+		"-seed", "7",
+		"-out", out,
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty trace file")
+	}
+	if !strings.Contains(stderr.String(), "pages/s") {
+		t.Errorf("summary missing: %q", stderr.String())
+	}
+	if !strings.Contains(string(data[:200]), `"server"`) {
+		t.Errorf("trace not JSONL: %q", string(data[:200]))
+	}
+}
+
+func TestNtierSimStdout(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := NtierSim([]string{
+		"-users", "50", "-duration", "5s", "-ramp", "2s", "-out", "-",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stdout.Len() == 0 {
+		t.Error("no JSONL on stdout")
+	}
+}
+
+func TestNtierSimMessagesOutput(t *testing.T) {
+	dir := t.TempDir()
+	msgs := filepath.Join(dir, "messages.jsonl")
+	var stdout, stderr bytes.Buffer
+	err := NtierSim([]string{
+		"-users", "50", "-duration", "5s", "-ramp", "2s",
+		"-out", filepath.Join(dir, "v.jsonl"),
+		"-messages", msgs,
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data[:200]), `"dir"`) {
+		t.Error("message JSONL missing direction field")
+	}
+}
+
+func TestNtierSimBadCollector(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := NtierSim([]string{"-collector", "zzz"}, &stdout, &stderr)
+	if err == nil {
+		t.Error("want error for unknown collector")
+	}
+}
+
+func TestNtierSimCollectorVariants(t *testing.T) {
+	for _, col := range []string{"none", "serial", "concurrent"} {
+		var stdout, stderr bytes.Buffer
+		err := NtierSim([]string{
+			"-users", "50", "-duration", "3s", "-ramp", "1s",
+			"-collector", col, "-out", filepath.Join(t.TempDir(), "v.jsonl"),
+		}, &stdout, &stderr)
+		if err != nil {
+			t.Errorf("collector %s: %v", col, err)
+		}
+	}
+}
+
+func TestPipelineSimThenDetect(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "visits.jsonl")
+	var simOut, simErr bytes.Buffer
+	err := NtierSim([]string{
+		"-users", "3000",
+		"-duration", "15s",
+		"-ramp", "5s",
+		"-seed", "3",
+		"-out", out,
+	}, &simOut, &simErr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var detOut, detErr bytes.Buffer
+	err = TBDetect([]string{"-in", out}, &detOut, &detErr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := detOut.String()
+	for _, server := range []string{"apache", "tomcat-1", "mysql-1", "cjdbc"} {
+		if !strings.Contains(report, server) {
+			t.Errorf("report missing %s:\n%s", server, report)
+		}
+	}
+	if !strings.Contains(report, "N*") {
+		t.Errorf("report missing header:\n%s", report)
+	}
+}
+
+func TestTBDetectWindowAndTopFlags(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "visits.jsonl")
+	var simOut, simErr bytes.Buffer
+	if err := NtierSim([]string{
+		"-users", "500", "-duration", "10s", "-ramp", "3s", "-out", out,
+	}, &simOut, &simErr); err != nil {
+		t.Fatal(err)
+	}
+	var detOut, detErr bytes.Buffer
+	err := TBDetect([]string{"-in", out, "-from", "3s", "-to", "13s", "-top", "2", "-raw"}, &detOut, &detErr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header + 2 rows + blank + verdict.
+	lines := strings.Split(strings.TrimSpace(detOut.String()), "\n")
+	dataRows := 0
+	for _, l := range lines[1:] {
+		if strings.HasPrefix(l, "apache") || strings.HasPrefix(l, "tomcat") ||
+			strings.HasPrefix(l, "mysql") || strings.HasPrefix(l, "cjdbc") {
+			dataRows++
+		}
+	}
+	if dataRows != 2 {
+		t.Errorf("top=2 printed %d rows:\n%s", dataRows, detOut.String())
+	}
+}
+
+func TestTBDetectMissingFile(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := TBDetect([]string{"-in", "/nonexistent/x.jsonl"}, &stdout, &stderr); err == nil {
+		t.Error("want error for missing file")
+	}
+}
+
+func TestTBDetectEmptyTrace(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if err := TBDetect([]string{"-in", empty}, &stdout, &stderr); err == nil {
+		t.Error("want error for empty trace")
+	}
+}
+
+func TestExperimentsList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := Experiments([]string{"list"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"fig2", "fig9-11", "tableII"} {
+		if !strings.Contains(stdout.String(), id) {
+			t.Errorf("list missing %s", id)
+		}
+	}
+}
+
+func TestExperimentsRunDeterministic(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := Experiments([]string{"run", "fig7"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "normalization") {
+		t.Errorf("fig7 output: %q", stdout.String())
+	}
+}
+
+func TestExperimentsErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := Experiments(nil, &stdout, &stderr); err == nil {
+		t.Error("want usage error")
+	}
+	if err := Experiments([]string{"bogus"}, &stdout, &stderr); err == nil {
+		t.Error("want unknown-subcommand error")
+	}
+	if err := Experiments([]string{"run"}, &stdout, &stderr); err == nil {
+		t.Error("want missing-id error")
+	}
+	if err := Experiments([]string{"run", "nosuch"}, &stdout, &stderr); err == nil {
+		t.Error("want unknown-id error")
+	}
+}
+
+func TestTBDetectWireInput(t *testing.T) {
+	dir := t.TempDir()
+	msgs := filepath.Join(dir, "messages.jsonl")
+	var simOut, simErr bytes.Buffer
+	if err := NtierSim([]string{
+		"-users", "500", "-duration", "10s", "-ramp", "3s",
+		"-out", filepath.Join(dir, "v.jsonl"),
+		"-messages", msgs,
+	}, &simOut, &simErr); err != nil {
+		t.Fatal(err)
+	}
+	// Oracle assembly from the wire capture.
+	var detOut, detErr bytes.Buffer
+	if err := TBDetect([]string{"-in", msgs, "-wire"}, &detOut, &detErr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(detOut.String(), "mysql-1") {
+		t.Errorf("wire-mode report missing servers:\n%s", detOut.String())
+	}
+	// Black-box reconstruction path reports its accuracy.
+	detOut.Reset()
+	detErr.Reset()
+	if err := TBDetect([]string{"-in", msgs, "-wire", "-blackbox"}, &detOut, &detErr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(detErr.String(), "accuracy") {
+		t.Errorf("black-box mode did not report accuracy: %q", detErr.String())
+	}
+	if !strings.Contains(detOut.String(), "mysql-1") {
+		t.Errorf("black-box report missing servers:\n%s", detOut.String())
+	}
+}
+
+func TestTBDetectClassesFlag(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "visits.jsonl")
+	var simOut, simErr bytes.Buffer
+	if err := NtierSim([]string{
+		"-users", "1000", "-duration", "10s", "-ramp", "3s", "-out", out,
+	}, &simOut, &simErr); err != nil {
+		t.Fatal(err)
+	}
+	var detOut, detErr bytes.Buffer
+	if err := TBDetect([]string{"-in", out, "-classes", "mysql-1"}, &detOut, &detErr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(detOut.String(), "per-class breakdown for mysql-1") {
+		t.Errorf("missing class section:\n%s", detOut.String())
+	}
+	if !strings.Contains(detOut.String(), "#q") {
+		t.Errorf("no query classes listed:\n%s", detOut.String())
+	}
+	// Unknown server errors out.
+	if err := TBDetect([]string{"-in", out, "-classes", "nosuch"}, &detOut, &detErr); err == nil {
+		t.Error("want error for unknown -classes server")
+	}
+}
+
+func TestTBDetectAutoInterval(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "visits.jsonl")
+	var simOut, simErr bytes.Buffer
+	if err := NtierSim([]string{
+		"-users", "2000", "-duration", "15s", "-ramp", "5s", "-out", out,
+	}, &simOut, &simErr); err != nil {
+		t.Fatal(err)
+	}
+	var detOut, detErr bytes.Buffer
+	if err := TBDetect([]string{"-in", out, "-auto"}, &detOut, &detErr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(detErr.String(), "auto-selected interval") {
+		t.Errorf("missing auto-selection report: %q", detErr.String())
+	}
+	if !strings.Contains(detErr.String(), "fidelity") {
+		t.Errorf("missing scoring table: %q", detErr.String())
+	}
+	if !strings.Contains(detOut.String(), "mysql-1") {
+		t.Errorf("analysis missing:\n%s", detOut.String())
+	}
+}
+
+func TestExperimentsDataFlag(t *testing.T) {
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	err := Experiments([]string{"run", "fig5", "-quick", "-data", dir}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr.String(), "data written") {
+		t.Errorf("missing data confirmation: %q", stderr.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig5c_points.csv")); err != nil {
+		t.Errorf("missing CSV: %v", err)
+	}
+	// Unsupported artifact errors cleanly.
+	if err := Experiments([]string{"run", "tableII", "-data", dir}, &stdout, &stderr); err == nil {
+		t.Error("want error for non-series artifact")
+	}
+}
+
+func TestTBDetectRootCause(t *testing.T) {
+	dir := t.TempDir()
+	msgs := filepath.Join(dir, "messages.jsonl")
+	var simOut, simErr bytes.Buffer
+	if err := NtierSim([]string{
+		"-users", "2000", "-duration", "10s", "-ramp", "3s",
+		"-out", filepath.Join(dir, "v.jsonl"),
+		"-messages", msgs,
+	}, &simOut, &simErr); err != nil {
+		t.Fatal(err)
+	}
+	var detOut, detErr bytes.Buffer
+	if err := TBDetect([]string{"-in", msgs, "-wire", "-rootcause"}, &detOut, &detErr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(detOut.String(), "root-cause attribution") {
+		t.Errorf("missing root-cause section:\n%s", detOut.String())
+	}
+	if !strings.Contains(detOut.String(), "EXPLAINED") {
+		t.Errorf("missing attribution columns:\n%s", detOut.String())
+	}
+	// Without -wire the flag must refuse (no call graph available).
+	if err := TBDetect([]string{"-in", filepath.Join(dir, "v.jsonl"), "-rootcause"}, &detOut, &detErr); err == nil {
+		t.Error("want error for -rootcause without -wire")
+	}
+}

@@ -1,0 +1,94 @@
+// Package cli implements the command-line tools as testable functions;
+// the cmd/ binaries are thin wrappers around these.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"transientbd/internal/jvm"
+	"transientbd/internal/ntier"
+	"transientbd/internal/simnet"
+	"transientbd/internal/traceio"
+)
+
+// NtierSim runs the simulated four-tier testbed and writes its visit
+// trace as JSONL, ready for TBDetect.
+func NtierSim(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("ntiersim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		users     = fs.Int("users", 8000, "closed-loop user population (the paper's WL)")
+		duration  = fs.Duration("duration", 0, "measured run length (default 3m)")
+		ramp      = fs.Duration("ramp", 0, "warm-up excluded from measurement (default 20s)")
+		seed      = fs.Int64("seed", 1, "random seed")
+		speedstep = fs.Bool("speedstep", false, "enable the SpeedStep governor on the MySQL hosts")
+		collector = fs.String("collector", "concurrent", "app-tier GC: none | serial | concurrent")
+		bursty    = fs.Bool("bursty", true, "enable correlated client load bursts")
+		out       = fs.String("out", "-", "visit JSONL output path (- for stdout)")
+		msgOut    = fs.String("messages", "", "optional wire-message JSONL output path")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := ntier.Config{
+		Users:       *users,
+		Duration:    simnet.FromStdDuration(*duration),
+		Ramp:        simnet.FromStdDuration(*ramp),
+		Seed:        *seed,
+		DBSpeedStep: *speedstep,
+	}
+	switch *collector {
+	case "none":
+	case "serial":
+		cfg.AppCollector = jvm.CollectorSerial
+	case "concurrent":
+		cfg.AppCollector = jvm.CollectorConcurrent
+	default:
+		return fmt.Errorf("ntiersim: unknown collector %q (none|serial|concurrent)", *collector)
+	}
+	if *bursty {
+		cfg.Burst = ntier.DefaultBurst()
+	}
+
+	sys, err := ntier.Build(cfg)
+	if err != nil {
+		return err
+	}
+	res, err := sys.Run()
+	if err != nil {
+		return err
+	}
+
+	w := stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return fmt.Errorf("ntiersim: %w", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := traceio.WriteVisits(w, res.Visits); err != nil {
+		return err
+	}
+	if *msgOut != "" {
+		f, err := os.Create(*msgOut)
+		if err != nil {
+			return fmt.Errorf("ntiersim: %w", err)
+		}
+		defer f.Close()
+		if err := traceio.WriteMessages(f, res.Messages); err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintf(stderr, "ntiersim: WL %d for %v (+%v ramp): %d visits, %.0f pages/s, window [%v,%v]\n",
+		*users, simnet.Std(sys.Config().Duration), simnet.Std(sys.Config().Ramp),
+		len(res.Visits), res.PagesPerSecond(),
+		simnet.Std(simnet.Duration(res.WindowStart)), simnet.Std(simnet.Duration(res.WindowEnd)))
+	return nil
+}

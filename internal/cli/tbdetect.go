@@ -1,0 +1,176 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"transientbd/internal/core"
+	"transientbd/internal/simnet"
+	"transientbd/internal/trace"
+	"transientbd/internal/traceio"
+)
+
+// TBDetect analyzes a visit trace (JSONL) for transient bottlenecks and
+// prints the per-server report: congestion point N*, congested-interval
+// fraction, POIs and ranking.
+func TBDetect(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("tbdetect", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		in       = fs.String("in", "-", "visit JSONL input path (- for stdin)")
+		wire     = fs.Bool("wire", false, "input is a raw wire-message capture; assemble visits first")
+		blackbox = fs.Bool("blackbox", false, "with -wire: reconstruct call/return pairs black-box (no hop ids) and report accuracy")
+		interval = fs.Duration("interval", 50*time.Millisecond, "monitoring interval length")
+		from     = fs.Duration("from", 0, "analysis window start (offset from trace epoch)")
+		to       = fs.Duration("to", 0, "analysis window end (0 = end of trace)")
+		raw      = fs.Bool("raw", false, "disable work-unit throughput normalization")
+		top      = fs.Int("top", 0, "print only the N worst servers (0 = all)")
+		classes  = fs.String("classes", "", "also print the per-class breakdown for this server")
+		auto     = fs.Bool("auto", false, "choose the monitoring interval automatically (overrides -interval)")
+		rootCA   = fs.Bool("rootcause", false, "with -wire: attribute congestion to its origin using the call graph")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	r := io.Reader(os.Stdin)
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return fmt.Errorf("tbdetect: %w", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	var visits []trace.Visit
+	var callGraph map[string][]string
+	var err error
+	if *wire {
+		msgs, rerr := traceio.ReadMessages(r)
+		if rerr != nil {
+			return rerr
+		}
+		callGraph = trace.CallGraph(msgs)
+		if *blackbox {
+			rec := trace.Reconstruct(msgs)
+			fmt.Fprintf(stderr, "tbdetect: black-box reconstruction: %d pairs, accuracy %.2f%%, %d unmatched calls\n",
+				rec.PairedHops, 100*rec.Accuracy(), rec.UnmatchedCalls)
+			visits = rec.Visits
+		} else {
+			visits, err = trace.Assemble(msgs)
+			if err != nil {
+				return err
+			}
+		}
+	} else {
+		visits, err = traceio.ReadVisits(r)
+		if err != nil {
+			return err
+		}
+	}
+	if len(visits) == 0 {
+		return fmt.Errorf("tbdetect: trace is empty")
+	}
+
+	w := core.Window{
+		Start: simnet.FromStdDuration(*from),
+		End:   simnet.FromStdDuration(*to),
+	}
+	if w.End <= w.Start {
+		for _, v := range visits {
+			if v.Depart >= w.End {
+				w.End = v.Depart + 1
+			}
+		}
+	}
+	chosen := simnet.FromStdDuration(*interval)
+	if *auto {
+		// Score candidates on the busiest server and apply the winner
+		// everywhere.
+		counts := make(map[string]int)
+		for _, v := range visits {
+			counts[v.Server]++
+		}
+		busiest := ""
+		for name, n := range counts {
+			if busiest == "" || n > counts[busiest] {
+				busiest = name
+			}
+		}
+		best, table, err := core.ChooseInterval(trace.Filter(visits, busiest), w, nil)
+		if err != nil {
+			return fmt.Errorf("tbdetect: auto interval: %w", err)
+		}
+		chosen = best
+		fmt.Fprintf(stderr, "tbdetect: auto-selected interval %v (scored on %s):\n",
+			simnet.Std(best), busiest)
+		for _, c := range table {
+			fmt.Fprintf(stderr, "  %8v  fidelity %.3f  resolution %.3f  score %.3f\n",
+				simnet.Std(c.Interval), c.Fidelity, c.Resolution, c.Score)
+		}
+	}
+
+	analysis, err := core.AnalyzeSystem(visits, w, core.Options{
+		Interval:      chosen,
+		RawThroughput: *raw,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "%-12s  %8s  %12s  %10s  %10s  %6s\n",
+		"SERVER", "N*", "TPMAX(u/s)", "CONGESTED", "EPISODES", "POIs")
+	count := 0
+	for _, rep := range analysis.Ranking {
+		if *top > 0 && count >= *top {
+			break
+		}
+		count++
+		fmt.Fprintf(stdout, "%-12s  %8.1f  %12.0f  %9.1f%%  %10d  %6d\n",
+			rep.Server, rep.NStar, rep.TPMax,
+			100*rep.CongestedFraction, rep.CongestedIntervals, rep.POICount)
+	}
+	if len(analysis.Ranking) > 0 {
+		worst := analysis.Ranking[0]
+		if worst.CongestedFraction > 0 {
+			fmt.Fprintf(stdout, "\nmost frequent transient bottleneck: %s (congested %.1f%% of intervals)\n",
+				worst.Server, 100*worst.CongestedFraction)
+		} else {
+			fmt.Fprintln(stdout, "\nno transient bottlenecks detected")
+		}
+	}
+
+	if *rootCA {
+		if callGraph == nil {
+			return fmt.Errorf("tbdetect: -rootcause needs a wire capture (-wire) to recover the call graph")
+		}
+		reports := core.AttributeRootCause(analysis, callGraph)
+		fmt.Fprintf(stdout, "\nroot-cause attribution (congestion minus what a congested downstream explains):\n")
+		fmt.Fprintf(stdout, "%-12s  %10s  %10s  %8s\n", "SERVER", "CONGESTED", "EXPLAINED", "SCORE")
+		for _, rep := range reports {
+			fmt.Fprintf(stdout, "%-12s  %9.1f%%  %9.1f%%  %8.3f\n",
+				rep.Server, 100*rep.CongestedFraction, 100*rep.ExplainedFraction, rep.Score)
+		}
+	}
+
+	if *classes != "" {
+		a, ok := analysis.PerServer[*classes]
+		if !ok {
+			return fmt.Errorf("tbdetect: no analysis for server %q", *classes)
+		}
+		breakdown := core.ClassBreakdown(trace.Filter(visits, *classes), a)
+		fmt.Fprintf(stdout, "\nper-class breakdown for %s (worst first):\n", *classes)
+		fmt.Fprintf(stdout, "%-28s  %8s  %10s  %12s  %9s\n",
+			"CLASS", "COUNT", "CONGESTED", "MEAN RESID", "SLOWDOWN")
+		for _, c := range breakdown {
+			fmt.Fprintf(stdout, "%-28s  %8d  %9.1f%%  %12v  %8.2fx\n",
+				c.Class, c.Count, 100*c.CongestedShare,
+				simnet.Std(c.MeanResidence).Round(10*time.Microsecond),
+				c.CongestedSlowdown)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"transientbd/internal/metrics"
+	"transientbd/internal/simnet"
+	"transientbd/internal/trace"
+)
+
+// IntervalState classifies one monitoring interval of one server.
+type IntervalState int
+
+// Interval states. Idle means no measurable load; Normal means load at or
+// below the congestion point; Congested means load beyond N* (a transient
+// bottleneck episode); a congested interval with near-zero throughput is
+// additionally reported as a POI.
+const (
+	StateIdle IntervalState = iota + 1
+	StateNormal
+	StateCongested
+)
+
+// String implements fmt.Stringer.
+func (s IntervalState) String() string {
+	switch s {
+	case StateIdle:
+		return "idle"
+	case StateNormal:
+		return "normal"
+	case StateCongested:
+		return "congested"
+	default:
+		return fmt.Sprintf("IntervalState(%d)", int(s))
+	}
+}
+
+// Options configures an analysis pass.
+type Options struct {
+	// Interval is the monitoring interval length. Default 50 ms, the
+	// paper's choice after the Fig 8 sensitivity study.
+	Interval simnet.Duration
+	// ServicePercentile is the intra-node-delay percentile used as the
+	// per-class service-time estimate. Default 10.
+	ServicePercentile float64
+	// WorkUnit overrides the derived work-unit size (0 = derive via GCD).
+	WorkUnit simnet.Duration
+	// NStar tunes the congestion-point estimator.
+	NStar NStarOptions
+	// POIFraction is the normalized-throughput fraction of TPMax below
+	// which a congested interval counts as a POI (a freeze). Default 0.2.
+	POIFraction float64
+	// MinIdleLoad is the load below which an interval is idle rather than
+	// normal. Default 0.5.
+	MinIdleLoad float64
+	// Normalize disables throughput normalization when false-by-flag via
+	// RawThroughput (ablation: the Fig 7 problem).
+	RawThroughput bool
+}
+
+func (o *Options) applyDefaults() {
+	if o.Interval <= 0 {
+		o.Interval = 50 * simnet.Millisecond
+	}
+	if o.ServicePercentile <= 0 || o.ServicePercentile > 100 {
+		o.ServicePercentile = 10
+	}
+	if o.POIFraction <= 0 {
+		o.POIFraction = 0.2
+	}
+	if o.MinIdleLoad <= 0 {
+		o.MinIdleLoad = 0.5
+	}
+}
+
+// Analysis is the full fine-grained result for one server.
+type Analysis struct {
+	// Server is the analyzed server's name.
+	Server string
+	// Window and Interval describe the time grid.
+	Window   Window
+	Interval simnet.Duration
+
+	// Load is the per-interval time-weighted concurrency (§III-A).
+	Load *metrics.IntervalSeries
+	// TP is the per-interval throughput used for detection: normalized
+	// work units/s by default, raw requests/s when RawThroughput was set.
+	TP *metrics.IntervalSeries
+	// RawTP is the straightforward requests/s series (always present).
+	RawTP *metrics.IntervalSeries
+
+	// ServiceTimes and Unit are the normalization inputs.
+	ServiceTimes ServiceTimes
+	Unit         simnet.Duration
+
+	// NStar is the estimated congestion point with its curve.
+	NStar NStarResult
+
+	// States classifies every interval.
+	States []IntervalState
+	// POIs are indices of congested intervals with near-zero throughput
+	// (server freezes, Fig 9b).
+	POIs []int
+
+	// CongestedIntervals and CongestedFraction summarize transient
+	// bottleneck frequency.
+	CongestedIntervals int
+	CongestedFraction  float64
+}
+
+// Points returns the (load, throughput) scatter of the analysis — the
+// dots of Fig 5(c).
+func (a *Analysis) Points() []Point {
+	load := a.Load.Values()
+	tp := a.TP.Values()
+	pts := make([]Point, len(load))
+	for i := range load {
+		pts[i] = Point{Load: load[i], TP: tp[i]}
+	}
+	return pts
+}
+
+// CongestedAt reports whether interval i is congested.
+func (a *Analysis) CongestedAt(i int) bool {
+	return i >= 0 && i < len(a.States) && a.States[i] == StateCongested
+}
+
+// AnalyzeServer runs the full §III pipeline over one server's visits.
+// Service-time estimates may be supplied (e.g. from a low-load calibration
+// run, as the paper recommends); pass nil to estimate from these visits.
+func AnalyzeServer(serverName string, visits []trace.Visit, svc ServiceTimes, w Window, opts Options) (*Analysis, error) {
+	opts.applyDefaults()
+	if err := w.validate(); err != nil {
+		return nil, err
+	}
+	if len(visits) == 0 {
+		return nil, fmt.Errorf("%w: server %q", ErrNoVisits, serverName)
+	}
+	if svc == nil {
+		est, err := EstimateServiceTimes(visits, opts.ServicePercentile)
+		if err != nil {
+			return nil, fmt.Errorf("core: estimate service times: %w", err)
+		}
+		svc = est
+	}
+	unit := opts.WorkUnit
+	if unit <= 0 {
+		unit = WorkUnit(svc)
+	}
+
+	load, err := LoadSeries(visits, w, opts.Interval)
+	if err != nil {
+		return nil, err
+	}
+	rawTP, err := ThroughputSeries(visits, w, opts.Interval)
+	if err != nil {
+		return nil, err
+	}
+	var tp *metrics.IntervalSeries
+	if opts.RawThroughput {
+		tp = rawTP
+	} else {
+		tp, err = NormalizedThroughputSeries(visits, svc, unit, w, opts.Interval)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	pts, err := CorrelatePoints(load.Values(), tp.Values())
+	if err != nil {
+		return nil, err
+	}
+	nstar, err := EstimateNStar(pts, opts.NStar)
+	switch {
+	case errors.Is(err, ErrNoPoints):
+		// The server's load never rose above the curve threshold: it is
+		// trivially unsaturated. Report N* at the highest observed load so
+		// no interval classifies as congested.
+		maxLoad := 0.0
+		for _, p := range pts {
+			if p.Load > maxLoad {
+				maxLoad = p.Load
+			}
+		}
+		nstar = NStarResult{NStar: maxLoad}
+	case err != nil:
+		return nil, fmt.Errorf("core: estimate N* for %q: %w", serverName, err)
+	}
+
+	a := &Analysis{
+		Server:       serverName,
+		Window:       w,
+		Interval:     opts.Interval,
+		Load:         load,
+		TP:           tp,
+		RawTP:        rawTP,
+		ServiceTimes: svc,
+		Unit:         unit,
+		NStar:        nstar,
+	}
+	a.States = make([]IntervalState, load.Len())
+	for i := 0; i < load.Len(); i++ {
+		l := load.Value(i)
+		switch {
+		case l < opts.MinIdleLoad:
+			a.States[i] = StateIdle
+		case l > nstar.NStar:
+			a.States[i] = StateCongested
+			a.CongestedIntervals++
+			if tp.Value(i) < opts.POIFraction*nstar.TPMax {
+				a.POIs = append(a.POIs, i)
+			}
+		default:
+			a.States[i] = StateNormal
+		}
+	}
+	if load.Len() > 0 {
+		a.CongestedFraction = float64(a.CongestedIntervals) / float64(load.Len())
+	}
+	return a, nil
+}
+
+// ServerReport summarizes one server for ranking.
+type ServerReport struct {
+	Server             string
+	NStar              float64
+	TPMax              float64
+	CongestedIntervals int
+	CongestedFraction  float64
+	POICount           int
+}
+
+// SystemAnalysis is the result of analyzing every server of a system.
+type SystemAnalysis struct {
+	// PerServer holds the full analysis per server name.
+	PerServer map[string]*Analysis
+	// Ranking lists servers by congested fraction, worst first — the
+	// transient-bottleneck ranking the operator acts on.
+	Ranking []ServerReport
+}
+
+// AnalyzeSystem groups visits by server and analyzes each, ranking servers
+// by transient-bottleneck frequency. Servers whose analysis fails for lack
+// of data are skipped.
+func AnalyzeSystem(visits []trace.Visit, w Window, opts Options) (*SystemAnalysis, error) {
+	if len(visits) == 0 {
+		return nil, ErrNoVisits
+	}
+	perServer := trace.PerServer(visits)
+	out := &SystemAnalysis{PerServer: make(map[string]*Analysis, len(perServer))}
+	for name, vs := range perServer {
+		a, err := AnalyzeServer(name, vs, nil, w, opts)
+		if err != nil {
+			continue
+		}
+		out.PerServer[name] = a
+	}
+	if len(out.PerServer) == 0 {
+		return nil, fmt.Errorf("core: no server produced an analysis")
+	}
+	for name, a := range out.PerServer {
+		out.Ranking = append(out.Ranking, ServerReport{
+			Server:             name,
+			NStar:              a.NStar.NStar,
+			TPMax:              a.NStar.TPMax,
+			CongestedIntervals: a.CongestedIntervals,
+			CongestedFraction:  a.CongestedFraction,
+			POICount:           len(a.POIs),
+		})
+	}
+	sort.Slice(out.Ranking, func(i, j int) bool {
+		if out.Ranking[i].CongestedFraction != out.Ranking[j].CongestedFraction {
+			return out.Ranking[i].CongestedFraction > out.Ranking[j].CongestedFraction
+		}
+		return out.Ranking[i].Server < out.Ranking[j].Server
+	})
+	return out, nil
+}

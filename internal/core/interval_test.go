@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"transientbd/internal/simnet"
+)
+
+func TestChooseIntervalValidation(t *testing.T) {
+	if _, _, err := ChooseInterval(nil, Window{Start: 0, End: simnet.Second}, nil); err != ErrNoVisits {
+		t.Errorf("err = %v, want ErrNoVisits", err)
+	}
+	visits := synthServer(synthConfig{
+		service: 5 * ms, cores: 2, baseRate: 100,
+		horizon: simnet.Second, seed: 1,
+	})
+	if _, _, err := ChooseInterval(visits, Window{Start: 5, End: 5}, nil); err == nil {
+		t.Error("want error for empty window")
+	}
+}
+
+// On a workload with 200-300ms transient surges, the scorer must pick a
+// sub-second interval: 1s averages the surges away (low resolution) while
+// very short intervals blur the curve (low fidelity).
+func TestChooseIntervalPicksFineGrained(t *testing.T) {
+	visits := synthServer(synthConfig{
+		service:    5 * ms,
+		cores:      2,
+		baseRate:   240,
+		surgeRate:  900,
+		surgeEvery: 3 * simnet.Second,
+		surgeLen:   250 * ms,
+		horizon:    60 * simnet.Second,
+		seed:       3,
+	})
+	w := Window{Start: 0, End: 60 * simnet.Second}
+	best, table, err := ChooseInterval(visits, w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best < 10*ms || best > 500*ms {
+		t.Errorf("chosen interval = %v, want sub-second fine granularity", simnet.Std(best))
+	}
+	// The table covers the candidates and scores are in [0,1].
+	if len(table) < 5 {
+		t.Fatalf("table = %d entries", len(table))
+	}
+	var oneSec IntervalCandidate
+	for _, c := range table {
+		if c.Score < 0 || c.Score > 1+1e-9 {
+			t.Errorf("%v score = %v out of range", c.Interval, c.Score)
+		}
+		if c.Interval == simnet.Second {
+			oneSec = c
+		}
+	}
+	// The 1s candidate loses transient resolution (Fig 8c).
+	if oneSec.Resolution > 0.8 {
+		t.Errorf("1s resolution = %.3f, want well below 1 (peaks averaged away)", oneSec.Resolution)
+	}
+}
+
+func TestChooseIntervalRespectsCandidateList(t *testing.T) {
+	visits := synthServer(synthConfig{
+		service: 5 * ms, cores: 2, baseRate: 240,
+		surgeRate: 900, surgeEvery: 2 * simnet.Second, surgeLen: 200 * ms,
+		horizon: 20 * simnet.Second, seed: 4,
+	})
+	w := Window{Start: 0, End: 20 * simnet.Second}
+	candidates := []simnet.Duration{40 * ms, 80 * ms}
+	best, table, err := ChooseInterval(visits, w, candidates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != 40*ms && best != 80*ms {
+		t.Errorf("chosen %v not among candidates", best)
+	}
+	if len(table) != 2 {
+		t.Errorf("table = %d entries, want 2", len(table))
+	}
+}
+
+func TestChooseIntervalSkipsOversizedCandidates(t *testing.T) {
+	visits := synthServer(synthConfig{
+		service: 5 * ms, cores: 2, baseRate: 200,
+		horizon: 2 * simnet.Second, seed: 5,
+	})
+	w := Window{Start: 0, End: 2 * simnet.Second}
+	// 10s candidate exceeds the window; only 50ms usable.
+	best, table, err := ChooseInterval(visits, w, []simnet.Duration{50 * ms, 10 * simnet.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != 50*ms || len(table) != 1 {
+		t.Errorf("best = %v, table = %d; want 50ms only", best, len(table))
+	}
+}

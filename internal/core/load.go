@@ -1,0 +1,67 @@
+// Package core implements the paper's contribution: fine-grained
+// load/throughput correlation analysis for transient bottleneck detection
+// (§III).
+//
+// Given per-server request arrival/departure timestamps from passive
+// network tracing (package trace), the pipeline is:
+//
+//  1. Load calculation (§III-A): per short interval (default 50 ms), the
+//     time-weighted average number of concurrent requests.
+//  2. Throughput calculation (§III-B): completed requests per interval,
+//     normalized into comparable work units under mixed-class workloads
+//     using per-class service-time estimates.
+//  3. Congestion point N* determination (§III-C): statistical intervention
+//     analysis over the binned load/throughput curve (Eq. 1 and 2).
+//  4. Classification: an interval with load beyond N* is a short-term
+//     congestion episode; frequent episodes mark the server as a transient
+//     bottleneck. Congested intervals with near-zero throughput are POIs
+//     (points of interest, Fig 9b) — server freezes such as stop-the-world
+//     garbage collection.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"transientbd/internal/metrics"
+	"transientbd/internal/simnet"
+	"transientbd/internal/trace"
+)
+
+// ErrNoVisits indicates an analysis was requested over an empty visit set.
+var ErrNoVisits = errors.New("core: no visits")
+
+// Window is the analysis time window [Start, End).
+type Window struct {
+	Start, End simnet.Time
+}
+
+// Span returns the window length.
+func (w Window) Span() simnet.Duration { return w.End - w.Start }
+
+func (w Window) validate() error {
+	if w.End <= w.Start {
+		return fmt.Errorf("core: empty window [%v,%v)", w.Start, w.End)
+	}
+	return nil
+}
+
+// LoadSeries computes the paper's load metric (§III-A): for each interval,
+// the time-weighted average number of concurrent requests at the server.
+// Requests contribute from their arrival to their departure, including
+// spans that cross interval boundaries (Fig 6).
+func LoadSeries(visits []trace.Visit, w Window, interval simnet.Duration) (*metrics.IntervalSeries, error) {
+	if err := w.validate(); err != nil {
+		return nil, err
+	}
+	acc := metrics.NewStepAccumulator(0)
+	for _, v := range visits {
+		acc.Change(v.Arrive, 1)
+		acc.Change(v.Depart, -1)
+	}
+	s, err := acc.Average(w.Start, w.End, interval)
+	if err != nil {
+		return nil, fmt.Errorf("core: load series: %w", err)
+	}
+	return s, nil
+}

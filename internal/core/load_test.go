@@ -1,0 +1,96 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"transientbd/internal/simnet"
+	"transientbd/internal/trace"
+)
+
+const ms = simnet.Millisecond
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// TestLoadCalculationFig6 replicates the paper's Fig 6: interleaved
+// arrival/departure timestamps over two 100 ms intervals, load = time-
+// weighted average concurrency.
+func TestLoadCalculationFig6(t *testing.T) {
+	visits := []trace.Visit{
+		// Interval 0: one request resident 50 ms → load 0.5.
+		{Server: "s", Class: "a", Arrive: 20 * ms, Depart: 70 * ms},
+		// Interval 1: two overlapping requests.
+		{Server: "s", Class: "a", Arrive: 110 * ms, Depart: 160 * ms},
+		{Server: "s", Class: "a", Arrive: 130 * ms, Depart: 190 * ms},
+	}
+	w := Window{Start: 0, End: 200 * ms}
+	load, err := LoadSeries(visits, w, 100*ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if load.Len() != 2 {
+		t.Fatalf("intervals = %d, want 2", load.Len())
+	}
+	if !almostEq(load.Value(0), 0.5) {
+		t.Errorf("interval 0 load = %v, want 0.5", load.Value(0))
+	}
+	// 20ms@1 + 30ms@2 + 30ms@1 + 20ms@0 → (20+60+30)/100 = 1.1
+	if !almostEq(load.Value(1), 1.1) {
+		t.Errorf("interval 1 load = %v, want 1.1", load.Value(1))
+	}
+}
+
+func TestLoadSeriesCrossBoundaryRequest(t *testing.T) {
+	// One request spanning three intervals contributes to each.
+	visits := []trace.Visit{{Server: "s", Class: "a", Arrive: 50 * ms, Depart: 250 * ms}}
+	load, err := LoadSeries(visits, Window{Start: 0, End: 300 * ms}, 100*ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.5, 1.0, 0.5}
+	for i, wv := range want {
+		if !almostEq(load.Value(i), wv) {
+			t.Errorf("interval %d load = %v, want %v", i, load.Value(i), wv)
+		}
+	}
+}
+
+func TestLoadSeriesRequestOutsideWindow(t *testing.T) {
+	// A request entirely before the window and one still resident at the
+	// window start: the resident one counts, per the running level.
+	visits := []trace.Visit{
+		{Server: "s", Arrive: 0, Depart: 10 * ms},
+		{Server: "s", Arrive: 20 * ms, Depart: 180 * ms},
+	}
+	load, err := LoadSeries(visits, Window{Start: 100 * ms, End: 200 * ms}, 100*ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(load.Value(0), 0.8) {
+		t.Errorf("load = %v, want 0.8 (resident 80ms of 100ms)", load.Value(0))
+	}
+}
+
+func TestLoadSeriesValidation(t *testing.T) {
+	if _, err := LoadSeries(nil, Window{Start: 10, End: 10}, ms); err == nil {
+		t.Error("want error for empty window")
+	}
+	if _, err := LoadSeries(nil, Window{Start: 0, End: 100 * ms}, 0); err == nil {
+		t.Error("want error for zero interval")
+	}
+}
+
+func TestWindowSpan(t *testing.T) {
+	w := Window{Start: simnet.Second, End: 3 * simnet.Second}
+	if w.Span() != 2*simnet.Second {
+		t.Errorf("Span = %v", w.Span())
+	}
+}
+
+func TestErrNoVisitsWrapping(t *testing.T) {
+	_, err := AnalyzeServer("x", nil, nil, Window{Start: 0, End: simnet.Second}, Options{})
+	if !errors.Is(err, ErrNoVisits) {
+		t.Errorf("err = %v, want ErrNoVisits", err)
+	}
+}

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"errors"
+	"sort"
+
+	"transientbd/internal/simnet"
+	"transientbd/internal/trace"
+)
+
+// Online is the streaming counterpart of AnalyzeServer for one server: it
+// ingests visits as they complete (the order a passive tracer emits them)
+// and classifies monitoring intervals incrementally with bounded memory.
+// The congestion point N* is re-estimated periodically from the sliding
+// window, so the detector adapts to drifting service times — the
+// recomputation the paper calls for in §III-B.
+type Online struct {
+	opts     Options
+	window   int // ring size, in intervals
+	reperiod int // N* refresh period, in intervals
+
+	start  simnet.Time // start of interval 0
+	closed int64       // count of closed intervals
+
+	// Ring state, indexed by interval number mod window.
+	loadTime []float64 // resident microseconds per interval
+	units    []float64 // completed work units per interval
+	ringIdx  []int64   // which absolute interval the slot holds
+
+	// Per-class service-time reservoirs.
+	reservoirs   map[string]*reservoir
+	reservoirCap int
+
+	nstar    NStarResult
+	hasNStar bool
+
+	// Cached normalization inputs, refreshed every svcRefresh
+	// observations: recomputing the per-class percentile table on every
+	// completion would re-sort all reservoirs per record.
+	cachedSvc  ServiceTimes
+	cachedUnit simnet.Duration
+	sinceSvc   int
+}
+
+// Alert reports one closed interval's classification.
+type Alert struct {
+	// IntervalStart is the interval's start time.
+	IntervalStart simnet.Time
+	// Load and TP are the interval's measurements (TP in work units/s).
+	Load, TP float64
+	// State is the classification; POI marks a congested interval with
+	// near-zero throughput.
+	State IntervalState
+	POI   bool
+}
+
+// OnlineOptions configures the streaming analyzer.
+type OnlineOptions struct {
+	// Options embeds the batch analysis knobs (interval, thresholds, N*).
+	Options
+	// WindowIntervals is the sliding window size in intervals. Default
+	// 2400 (2 minutes at 50 ms).
+	WindowIntervals int
+	// ReestimateEvery is how many closed intervals pass between N*
+	// refreshes. Default 400 (20 s at 50 ms).
+	ReestimateEvery int
+	// ReservoirSize bounds per-class service-time memory (the most
+	// recent samples are kept). Default 256.
+	ReservoirSize int
+}
+
+// reservoir keeps the most recent intra-node delays for one class, so the
+// service-time estimate tracks drift (§III-B: "such service time
+// approximations have to be recomputed accordingly") instead of being
+// anchored to history.
+type reservoir struct {
+	samples []float64
+	next    int
+	cap     int
+}
+
+func (r *reservoir) add(v float64) {
+	if len(r.samples) < r.cap {
+		r.samples = append(r.samples, v)
+		return
+	}
+	r.samples[r.next] = v
+	r.next = (r.next + 1) % r.cap
+}
+
+// NewOnline creates a streaming analyzer whose interval grid starts at
+// start (typically the measurement window start).
+func NewOnline(start simnet.Time, opts OnlineOptions) (*Online, error) {
+	opts.Options.applyDefaults()
+	if opts.WindowIntervals <= 0 {
+		opts.WindowIntervals = 2400
+	}
+	if opts.WindowIntervals < 20 {
+		return nil, errors.New("core: online window must cover at least 20 intervals")
+	}
+	if opts.ReestimateEvery <= 0 {
+		opts.ReestimateEvery = 400
+	}
+	if opts.ReservoirSize <= 0 {
+		opts.ReservoirSize = 256
+	}
+	o := &Online{
+		opts:       opts.Options,
+		window:     opts.WindowIntervals,
+		reperiod:   opts.ReestimateEvery,
+		start:      start,
+		loadTime:   make([]float64, opts.WindowIntervals),
+		units:      make([]float64, opts.WindowIntervals),
+		ringIdx:    make([]int64, opts.WindowIntervals),
+		reservoirs: make(map[string]*reservoir),
+	}
+	o.reservoirCap = opts.ReservoirSize
+	for i := range o.ringIdx {
+		o.ringIdx[i] = -1
+	}
+	return o, nil
+}
+
+// Observe ingests one completed visit. Visits whose span predates the
+// sliding window are dropped.
+func (o *Online) Observe(v trace.Visit) {
+	if v.Depart < v.Arrive {
+		return
+	}
+	// Service-time reservoir.
+	res := o.reservoirs[v.Class]
+	if res == nil {
+		res = &reservoir{cap: o.reservoirCap}
+		o.reservoirs[v.Class] = res
+	}
+	res.add(float64(v.IntraNodeDelay()))
+	o.sinceSvc++
+
+	iv := o.opts.Interval
+	// Distribute residence across intervals (time-weighted load).
+	first := o.intervalOf(v.Arrive)
+	last := o.intervalOf(v.Depart)
+	for n := first; n <= last; n++ {
+		if n < 0 {
+			continue
+		}
+		s := o.start + simnet.Time(n)*iv
+		e := s + iv
+		lo, hi := v.Arrive, v.Depart
+		if s > lo {
+			lo = s
+		}
+		if e < hi {
+			hi = e
+		}
+		if hi > lo {
+			o.add(n, float64(hi-lo), 0)
+		}
+	}
+	// Completion units at the departure interval.
+	if last >= 0 {
+		svc, unit := o.normalization()
+		o.add(last, 0, svc.Units(v.Class, unit))
+	}
+}
+
+// svcRefresh is how many observations pass between service-table
+// recomputations.
+const svcRefresh = 1024
+
+// normalization returns the (cached) service table and work-unit size.
+func (o *Online) normalization() (ServiceTimes, simnet.Duration) {
+	if o.cachedSvc == nil || o.sinceSvc >= svcRefresh {
+		o.cachedSvc = o.serviceTable()
+		o.cachedUnit = 100 * simnet.Microsecond
+		if len(o.cachedSvc) > 0 {
+			o.cachedUnit = WorkUnit(o.cachedSvc)
+		}
+		o.sinceSvc = 0
+	}
+	return o.cachedSvc, o.cachedUnit
+}
+
+func (o *Online) intervalOf(t simnet.Time) int64 {
+	if t < o.start {
+		return -1
+	}
+	return int64((t - o.start) / o.opts.Interval)
+}
+
+func (o *Online) add(n int64, loadMicros, units float64) {
+	if n < o.closed {
+		return // interval already closed and reported: too late
+	}
+	slot := int(n % int64(o.window))
+	if o.ringIdx[slot] != n {
+		if o.ringIdx[slot] > n {
+			return // older than the ring's current occupant: too late
+		}
+		o.ringIdx[slot] = n
+		o.loadTime[slot] = 0
+		o.units[slot] = 0
+	}
+	o.loadTime[slot] += loadMicros
+	o.units[slot] += units
+}
+
+func (o *Online) serviceTable() ServiceTimes {
+	svc := make(ServiceTimes, len(o.reservoirs))
+	for class, r := range o.reservoirs {
+		if len(r.samples) == 0 {
+			continue
+		}
+		sorted := make([]float64, len(r.samples))
+		copy(sorted, r.samples)
+		sort.Float64s(sorted)
+		idx := int(float64(len(sorted)) * o.opts.ServicePercentile / 100)
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		est := sorted[idx]
+		if est < 1 {
+			est = 1
+		}
+		svc[class] = simnet.Duration(est)
+	}
+	return svc
+}
+
+// Advance closes every interval that ends at or before now and returns
+// their classifications in order. Call it periodically (e.g. once per
+// interval) with the tracer's clock.
+func (o *Online) Advance(now simnet.Time) []Alert {
+	var alerts []Alert
+	iv := o.opts.Interval
+	for {
+		end := o.start + simnet.Time(o.closed+1)*iv
+		if end > now {
+			break
+		}
+		n := o.closed
+		o.closed++
+		slot := int(n % int64(o.window))
+		var load, tp float64
+		if o.ringIdx[slot] == n {
+			load = o.loadTime[slot] / float64(iv)
+			tp = o.units[slot] / iv.Seconds()
+		}
+		if o.closed%int64(o.reperiod) == 0 || (!o.hasNStar && o.closed >= int64(o.reperiod)/2) {
+			o.reestimate()
+		}
+		alert := Alert{IntervalStart: o.start + simnet.Time(n)*iv, Load: load, TP: tp}
+		switch {
+		case load < o.opts.MinIdleLoad:
+			alert.State = StateIdle
+		case o.hasNStar && load > o.nstar.NStar:
+			alert.State = StateCongested
+			alert.POI = tp < o.opts.POIFraction*o.nstar.TPMax
+		default:
+			alert.State = StateNormal
+		}
+		alerts = append(alerts, alert)
+	}
+	return alerts
+}
+
+// reestimate refreshes N* from the intervals currently in the ring.
+func (o *Online) reestimate() {
+	var pts []Point
+	iv := o.opts.Interval
+	for slot, n := range o.ringIdx {
+		if n < 0 || n >= o.closed {
+			continue
+		}
+		pts = append(pts, Point{
+			Load: o.loadTime[slot] / float64(iv),
+			TP:   o.units[slot] / iv.Seconds(),
+		})
+	}
+	res, err := EstimateNStar(pts, o.opts.NStar)
+	if err != nil {
+		return // not enough data yet; keep the previous estimate
+	}
+	o.nstar = res
+	o.hasNStar = true
+}
+
+// NStar returns the current congestion-point estimate and whether one has
+// been computed yet.
+func (o *Online) NStar() (NStarResult, bool) {
+	return o.nstar, o.hasNStar
+}

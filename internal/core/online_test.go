@@ -1,0 +1,282 @@
+package core
+
+import (
+	"testing"
+
+	"transientbd/internal/simnet"
+	"transientbd/internal/trace"
+)
+
+func newOnlineForTest(t *testing.T, opts OnlineOptions) *Online {
+	t.Helper()
+	o, err := NewOnline(0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestNewOnlineValidation(t *testing.T) {
+	if _, err := NewOnline(0, OnlineOptions{WindowIntervals: 5}); err == nil {
+		t.Error("want error for tiny window")
+	}
+	o, err := NewOnline(0, OnlineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.window != 2400 || o.reperiod != 400 {
+		t.Errorf("defaults = %d/%d, want 2400/400", o.window, o.reperiod)
+	}
+}
+
+func TestOnlineAdvanceClosesIntervalsInOrder(t *testing.T) {
+	o := newOnlineForTest(t, OnlineOptions{
+		Options: Options{Interval: 50 * ms},
+	})
+	o.Observe(trace.Visit{Server: "s", Class: "q", Arrive: 10 * ms, Depart: 30 * ms})
+	alerts := o.Advance(100 * ms)
+	if len(alerts) != 2 {
+		t.Fatalf("alerts = %d, want 2 (two closed 50ms intervals)", len(alerts))
+	}
+	if alerts[0].IntervalStart != 0 || alerts[1].IntervalStart != 50*ms {
+		t.Errorf("interval starts = %v, %v", alerts[0].IntervalStart, alerts[1].IntervalStart)
+	}
+	// First interval: 20ms residence in 50ms → load 0.4 (idle-classified).
+	if !almostEq(alerts[0].Load, 0.4) {
+		t.Errorf("load = %v, want 0.4", alerts[0].Load)
+	}
+	if alerts[0].State != StateIdle {
+		t.Errorf("state = %v, want idle (load < 0.5)", alerts[0].State)
+	}
+	// Advancing again with the same clock emits nothing.
+	if again := o.Advance(100 * ms); len(again) != 0 {
+		t.Errorf("re-advance emitted %d alerts", len(again))
+	}
+}
+
+func TestOnlineLoadSpansIntervals(t *testing.T) {
+	o := newOnlineForTest(t, OnlineOptions{Options: Options{Interval: 50 * ms}})
+	// Visit spanning [25ms, 125ms): 25ms + 50ms + 25ms across 3 intervals.
+	o.Observe(trace.Visit{Server: "s", Class: "q", Arrive: 25 * ms, Depart: 125 * ms})
+	alerts := o.Advance(150 * ms)
+	if len(alerts) != 3 {
+		t.Fatalf("alerts = %d, want 3", len(alerts))
+	}
+	want := []float64{0.5, 1.0, 0.5}
+	for i, w := range want {
+		if !almostEq(alerts[i].Load, w) {
+			t.Errorf("interval %d load = %v, want %v", i, alerts[i].Load, w)
+		}
+	}
+}
+
+// Feed the online analyzer the synthetic surging server and verify its
+// classifications broadly agree with the batch pipeline on the suffix
+// where the online N* has stabilized.
+func TestOnlineMatchesBatchClassification(t *testing.T) {
+	visits := synthServer(synthConfig{
+		service:    5 * ms,
+		cores:      2,
+		baseRate:   240,
+		surgeRate:  800,
+		surgeEvery: 3 * simnet.Second,
+		surgeLen:   300 * ms,
+		horizon:    60 * simnet.Second,
+		seed:       1,
+	})
+	w := Window{Start: 0, End: 60 * simnet.Second}
+	batch, err := AnalyzeServer("s", visits, nil, w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	o := newOnlineForTest(t, OnlineOptions{
+		Options:         Options{Interval: 50 * ms},
+		ReestimateEvery: 200,
+	})
+	// Deliver visits in completion order with the clock advancing, as a
+	// passive tracer would.
+	sorted := make([]trace.Visit, len(visits))
+	copy(sorted, visits)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j].Depart < sorted[j-1].Depart; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	online := make(map[simnet.Time]Alert)
+	for _, v := range sorted {
+		for _, a := range o.Advance(v.Depart - 200*ms) { // lag the clock: allow stragglers
+			online[a.IntervalStart] = a
+		}
+		o.Observe(v)
+	}
+	for _, a := range o.Advance(60 * simnet.Second) {
+		online[a.IntervalStart] = a
+	}
+
+	// Compare over the second half (online N* warmed up).
+	agree, total, congestedBatch, congestedOnline := 0, 0, 0, 0
+	for i := 600; i < batch.Load.Len(); i++ {
+		st := batch.Load.IntervalStart(i)
+		oa, ok := online[st]
+		if !ok {
+			continue
+		}
+		total++
+		bCongested := batch.States[i] == StateCongested
+		oCongested := oa.State == StateCongested
+		if bCongested == oCongested {
+			agree++
+		}
+		if bCongested {
+			congestedBatch++
+		}
+		if oCongested {
+			congestedOnline++
+		}
+	}
+	if total < 500 {
+		t.Fatalf("compared only %d intervals", total)
+	}
+	if frac := float64(agree) / float64(total); frac < 0.9 {
+		t.Errorf("online/batch agreement = %.3f, want >= 0.9", frac)
+	}
+	if congestedOnline == 0 || congestedBatch == 0 {
+		t.Errorf("congested counts batch=%d online=%d; both must detect the surges",
+			congestedBatch, congestedOnline)
+	}
+}
+
+func TestOnlineDetectsFreezePOI(t *testing.T) {
+	visits := synthServer(synthConfig{
+		service:     5 * ms,
+		cores:       2,
+		baseRate:    280,
+		horizon:     30 * simnet.Second,
+		freezeStart: 20 * simnet.Second,
+		freezeEnd:   20*simnet.Second + 400*ms,
+		seed:        3,
+	})
+	o := newOnlineForTest(t, OnlineOptions{
+		Options:         Options{Interval: 50 * ms},
+		ReestimateEvery: 100,
+	})
+	sorted := make([]trace.Visit, len(visits))
+	copy(sorted, visits)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j].Depart < sorted[j-1].Depart; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	var pois []Alert
+	for _, v := range sorted {
+		for _, a := range o.Advance(v.Depart - 200*ms) {
+			if a.POI {
+				pois = append(pois, a)
+			}
+		}
+		o.Observe(v)
+	}
+	for _, a := range o.Advance(30 * simnet.Second) {
+		if a.POI {
+			pois = append(pois, a)
+		}
+	}
+	if len(pois) == 0 {
+		t.Fatal("online analyzer missed the freeze POIs")
+	}
+	for _, p := range pois {
+		if p.IntervalStart < 19500*ms || p.IntervalStart > 21*simnet.Second {
+			t.Errorf("POI at %v, want near the 20s freeze", p.IntervalStart)
+		}
+	}
+}
+
+func TestOnlineDropsStaleVisits(t *testing.T) {
+	o := newOnlineForTest(t, OnlineOptions{
+		Options:         Options{Interval: 50 * ms},
+		WindowIntervals: 20,
+	})
+	// Fill the ring past wraparound: advance to interval 40.
+	o.Advance(2 * simnet.Second)
+	// A visit from interval 1 (long gone) must be ignored, not corrupt
+	// slot state.
+	o.Observe(trace.Visit{Server: "s", Class: "q", Arrive: 60 * ms, Depart: 70 * ms})
+	// The slot for interval 1 (slot 1) should not have been overwritten
+	// backward.
+	if o.ringIdx[1] > 0 && o.ringIdx[1] < 21 {
+		t.Errorf("stale visit corrupted ring slot: idx=%d", o.ringIdx[1])
+	}
+	// Negative-span visits are ignored.
+	o.Observe(trace.Visit{Server: "s", Class: "q", Arrive: 10 * ms, Depart: 5 * ms})
+}
+
+func TestOnlineNStarAccessor(t *testing.T) {
+	o := newOnlineForTest(t, OnlineOptions{Options: Options{Interval: 50 * ms}})
+	if _, ok := o.NStar(); ok {
+		t.Error("NStar available before any data")
+	}
+}
+
+// §III-B: "the service time of each class of requests may drift over time
+// (e.g., due to changes in the data selectivity) ... such service time
+// approximations have to be recomputed accordingly." The online
+// analyzer's sliding reservoirs must adapt: after the drift, classified
+// throughput should again track load in unsaturated intervals.
+func TestOnlineAdaptsToServiceTimeDrift(t *testing.T) {
+	// Build a moderately loaded single-class server whose service time
+	// grows 60% at t=30s (still unsaturated: ~70% utilization after).
+	rng := simnet.NewRNG(11)
+	var visits []trace.Visit
+	var busy simnet.Time
+	for at := simnet.Time(0); at < 60*simnet.Second; at += simnet.Duration(rng.Intn(16)+4) * ms {
+		svc := 5 * ms
+		if at >= 30*simnet.Second {
+			svc = 8 * ms
+		}
+		start := at
+		if busy > start {
+			start = busy
+		}
+		end := start + svc
+		busy = end
+		visits = append(visits, trace.Visit{Server: "s", Class: "q", Arrive: at, Depart: end})
+	}
+
+	o := newOnlineForTest(t, OnlineOptions{
+		Options:         Options{Interval: 50 * ms},
+		WindowIntervals: 400, // 20s window: pre-drift samples age out
+		ReestimateEvery: 100,
+	})
+	var alerts []Alert
+	for _, v := range visits {
+		alerts = append(alerts, o.Advance(v.Depart-200*ms)...)
+		o.Observe(v)
+	}
+	alerts = append(alerts, o.Advance(60*simnet.Second)...)
+
+	// After the drift settles (t > 45s), the server is still unsaturated
+	// (~60-70% util), so congested classifications should stay rare.
+	late := 0
+	lateCongested := 0
+	for _, a := range alerts {
+		if a.IntervalStart > 45*simnet.Second {
+			late++
+			if a.State == StateCongested {
+				lateCongested++
+			}
+		}
+	}
+	if late < 100 {
+		t.Fatalf("late intervals = %d", late)
+	}
+	if frac := float64(lateCongested) / float64(late); frac > 0.5 {
+		t.Errorf("post-drift congested fraction = %.3f; the detector failed to adapt", frac)
+	}
+	// The service estimate itself must have tracked the drift: the
+	// sliding reservoir holds only post-drift (~8ms) samples by now.
+	svc := o.serviceTable()["q"]
+	if svc < 7*ms {
+		t.Errorf("post-drift service estimate = %v, want near 8ms", simnet.Std(svc))
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"sort"
+)
+
+// In a closed n-tier system congestion propagates upstream: while a
+// downstream server is congested, upstream threads block on it, so the
+// upstream server's load rises past its own N* even though nothing is
+// wrong there. Ranking by congested fraction alone therefore flags the
+// whole call chain. RootCauseReport discounts each server's congestion by
+// how much of it coincides with a congested downstream dependency; the
+// residue points at the origin.
+type RootCauseReport struct {
+	// Server is the analyzed server.
+	Server string
+	// CongestedFraction is the raw fraction of congested intervals.
+	CongestedFraction float64
+	// ExplainedFraction is the share of those congested intervals during
+	// which at least one downstream dependency was also congested.
+	ExplainedFraction float64
+	// Score is CongestedFraction × (1 − ExplainedFraction): congestion
+	// this server originates.
+	Score float64
+}
+
+// AttributeRootCause ranks servers by unexplained congestion. downstream
+// maps each server to the servers it calls (e.g. "cjdbc" →
+// ["mysql-1","mysql-2"]). All analyses must share the same window and
+// interval (AnalyzeSystem guarantees this). Servers absent from the map
+// have no dependencies; all their congestion counts as their own.
+func AttributeRootCause(sys *SystemAnalysis, downstream map[string][]string) []RootCauseReport {
+	out := make([]RootCauseReport, 0, len(sys.PerServer))
+	for name, a := range sys.PerServer {
+		rep := RootCauseReport{
+			Server:            name,
+			CongestedFraction: a.CongestedFraction,
+		}
+		deps := downstream[name]
+		if a.CongestedIntervals > 0 && len(deps) > 0 {
+			explained := 0
+			for i, st := range a.States {
+				if st != StateCongested {
+					continue
+				}
+				for _, d := range deps {
+					da, ok := sys.PerServer[d]
+					if !ok {
+						continue
+					}
+					if i < len(da.States) && da.States[i] == StateCongested {
+						explained++
+						break
+					}
+				}
+			}
+			rep.ExplainedFraction = float64(explained) / float64(a.CongestedIntervals)
+		}
+		rep.Score = rep.CongestedFraction * (1 - rep.ExplainedFraction)
+		out = append(out, rep)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Server < out[j].Server
+	})
+	return out
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"transientbd/internal/simnet"
+	"transientbd/internal/trace"
+)
+
+// chainVisits builds a two-server chain where the downstream server "db"
+// freezes at [5s, 5.4s): during the freeze, upstream "app" requests pile
+// up too (their residence spans the freeze). Both servers look congested
+// by raw fraction; attribution must blame db.
+func chainVisits() []trace.Visit {
+	var visits []trace.Visit
+	svc := 5 * ms
+	freezeStart := 5 * simnet.Second
+	freezeEnd := freezeStart + 400*ms
+	var dbBusy simnet.Time
+	for at := simnet.Time(0); at < 20*simnet.Second; at += 4 * ms {
+		dbStart := at
+		if dbBusy > dbStart {
+			dbStart = dbBusy
+		}
+		dbEnd := dbStart + svc
+		// The freeze suspends service.
+		if dbStart >= freezeStart && dbStart < freezeEnd {
+			dbStart = freezeEnd
+			dbEnd = dbStart + svc
+		} else if dbStart < freezeStart && dbEnd > freezeStart {
+			dbEnd += freezeEnd - freezeStart
+		}
+		dbBusy = dbEnd
+		// The app visit wraps the db visit with 1ms on each side, held
+		// the entire time the db call is outstanding.
+		visits = append(visits,
+			trace.Visit{Server: "app", Class: "page", Arrive: at - ms, Depart: dbEnd + ms,
+				Downstream: dbEnd - at},
+			trace.Visit{Server: "db", Class: "q", Arrive: at, Depart: dbEnd},
+		)
+	}
+	return visits
+}
+
+func TestAttributeRootCauseBlamesDownstream(t *testing.T) {
+	visits := chainVisits()
+	w := Window{Start: 0, End: 20 * simnet.Second}
+	sys, err := AnalyzeSystem(visits, w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, db := sys.PerServer["app"], sys.PerServer["db"]
+	if app == nil || db == nil {
+		t.Fatal("missing analyses")
+	}
+	if app.CongestedIntervals == 0 || db.CongestedIntervals == 0 {
+		t.Skipf("no propagated congestion in this construction (app=%d db=%d)",
+			app.CongestedIntervals, db.CongestedIntervals)
+	}
+	reports := AttributeRootCause(sys, map[string][]string{"app": {"db"}})
+	if reports[0].Server != "db" {
+		t.Errorf("root cause = %s, want db (scores: %+v)", reports[0].Server, reports)
+	}
+	var appRep, dbRep RootCauseReport
+	for _, r := range reports {
+		switch r.Server {
+		case "app":
+			appRep = r
+		case "db":
+			dbRep = r
+		}
+	}
+	// The app's congestion is mostly explained by the db's.
+	if appRep.ExplainedFraction < 0.5 {
+		t.Errorf("app explained fraction = %.3f, want mostly explained", appRep.ExplainedFraction)
+	}
+	// The db has no dependencies: nothing explains it away.
+	if dbRep.ExplainedFraction != 0 {
+		t.Errorf("db explained fraction = %.3f, want 0", dbRep.ExplainedFraction)
+	}
+	if dbRep.Score <= appRep.Score {
+		t.Errorf("db score %.3f not above app score %.3f", dbRep.Score, appRep.Score)
+	}
+}
+
+func TestAttributeRootCauseNoDependencies(t *testing.T) {
+	visits := synthServer(synthConfig{
+		service: 5 * ms, cores: 2, baseRate: 260,
+		surgeRate: 900, surgeEvery: 2 * simnet.Second, surgeLen: 300 * ms,
+		horizon: 20 * simnet.Second, seed: 4,
+	})
+	sys, err := AnalyzeSystem(visits, Window{Start: 0, End: 20 * simnet.Second}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := AttributeRootCause(sys, nil)
+	if len(reports) != 1 {
+		t.Fatalf("reports = %d, want 1", len(reports))
+	}
+	r := reports[0]
+	if r.ExplainedFraction != 0 {
+		t.Errorf("explained = %.3f, want 0 without dependencies", r.ExplainedFraction)
+	}
+	if r.Score != r.CongestedFraction {
+		t.Errorf("score %.3f != congested fraction %.3f", r.Score, r.CongestedFraction)
+	}
+}
+
+func TestAttributeRootCauseUnknownDependencyIgnored(t *testing.T) {
+	visits := synthServer(synthConfig{
+		service: 5 * ms, cores: 2, baseRate: 260,
+		surgeRate: 900, surgeEvery: 2 * simnet.Second, surgeLen: 300 * ms,
+		horizon: 20 * simnet.Second, seed: 5,
+	})
+	sys, err := AnalyzeSystem(visits, Window{Start: 0, End: 20 * simnet.Second}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := AttributeRootCause(sys, map[string][]string{"s": {"ghost"}})
+	if reports[0].ExplainedFraction != 0 {
+		t.Error("unknown dependency must not explain anything")
+	}
+}

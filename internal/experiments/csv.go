@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"transientbd/internal/simnet"
+)
+
+// WriteData regenerates one experiment and writes its numeric series as
+// CSV files into dir — the plot-ready form of the paper's figures. Not
+// every artifact has series (Table II is static); Find/Registry text
+// output covers those. Supported ids: fig2, fig5, fig8, ext-mva.
+func WriteData(id, dir string, opts RunOpts) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	switch id {
+	case "fig2":
+		r, err := Fig2(nil, opts)
+		if err != nil {
+			return err
+		}
+		return writeFig2CSV(r, dir)
+	case "fig5":
+		r, err := Fig5(opts)
+		if err != nil {
+			return err
+		}
+		return writeFig5CSV(r, dir)
+	case "fig8":
+		r, err := Fig8(opts)
+		if err != nil {
+			return err
+		}
+		return writeFig8CSV(r, dir)
+	case "ext-mva":
+		r, err := MVACompare(nil, opts)
+		if err != nil {
+			return err
+		}
+		return writeMVACSV(r, dir)
+	default:
+		return fmt.Errorf("experiments: no CSV data for %q (try fig2, fig5, fig8, ext-mva)", id)
+	}
+}
+
+func writeCSV(path string, header []string, rows [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return fmt.Errorf("experiments: write %s: %w", path, err)
+	}
+	for _, row := range rows {
+		if err := w.Write(row); err != nil {
+			return fmt.Errorf("experiments: write %s: %w", path, err)
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+
+func writeFig2CSV(r *Fig2Result, dir string) error {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			strconv.Itoa(row.Users),
+			ftoa(row.PagesPerSecond),
+			ftoa(row.MeanRTSeconds),
+			ftoa(row.FracOver2s),
+		})
+	}
+	if err := writeCSV(filepath.Join(dir, "fig2ab.csv"),
+		[]string{"users", "pages_per_second", "mean_rt_s", "frac_over_2s"}, rows); err != nil {
+		return err
+	}
+	if r.Histogram == nil {
+		return nil
+	}
+	edges, counts := r.Histogram.Buckets()
+	hrows := make([][]string, 0, len(edges))
+	for i := range edges {
+		hrows = append(hrows, []string{ftoa(edges[i]), strconv.FormatInt(counts[i], 10)})
+	}
+	return writeCSV(filepath.Join(dir, "fig2c.csv"),
+		[]string{"rt_bucket_lower_s", "count"}, hrows)
+}
+
+func writeFig5CSV(r *Fig5Result, dir string) error {
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, []string{ftoa(p.Load), ftoa(p.TP)})
+	}
+	if err := writeCSV(filepath.Join(dir, "fig5c_points.csv"),
+		[]string{"load", "throughput_units_per_s"}, rows); err != nil {
+		return err
+	}
+	trows := make([][]string, 0, len(r.ExcerptLoad))
+	iv := simnet.Std(r.Analysis.Interval).Seconds()
+	for i := range r.ExcerptLoad {
+		trows = append(trows, []string{
+			ftoa(float64(i) * iv),
+			ftoa(r.ExcerptLoad[i]),
+			ftoa(r.ExcerptTP[i]),
+		})
+	}
+	return writeCSV(filepath.Join(dir, "fig5ab_timeline.csv"),
+		[]string{"t_s", "load", "throughput_units_per_s"}, trows)
+}
+
+func writeFig8CSV(r *Fig8Result, dir string) error {
+	for _, s := range r.Series {
+		pts := s.Analysis.Points()
+		rows := make([][]string, 0, len(pts))
+		for _, p := range pts {
+			rows = append(rows, []string{ftoa(p.Load), ftoa(p.TP)})
+		}
+		name := fmt.Sprintf("fig8_%s.csv", simnet.Std(s.Interval))
+		if err := writeCSV(filepath.Join(dir, name),
+			[]string{"load", "throughput_units_per_s"}, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeMVACSV(r *MVACompareResult, dir string) error {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			strconv.Itoa(row.Users),
+			ftoa(row.SimThroughput), ftoa(row.MVAThroughput),
+			ftoa(row.SimMeanRT), ftoa(row.MVAMeanRT),
+			ftoa(row.SimFracOver2s),
+		})
+	}
+	return writeCSV(filepath.Join(dir, "ext_mva.csv"),
+		[]string{"users", "x_sim", "x_mva", "rt_sim_s", "rt_mva_s", "sim_frac_over_2s"}, rows)
+}

@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Runner regenerates one paper artifact and writes its text rendering.
+type Runner struct {
+	// ID is the artifact identifier, e.g. "fig2", "tableI".
+	ID string
+	// Description summarizes what the artifact shows.
+	Description string
+	// Run executes the experiment and writes the rows/series to w.
+	Run func(w io.Writer, opts RunOpts) error
+}
+
+// Registry returns every experiment runner, sorted by ID.
+func Registry() []Runner {
+	runners := []Runner{
+		{
+			ID:          "fig2",
+			Description: "Throughput/RT vs workload sweep + RT histogram at WL 8,000 (SpeedStep ON)",
+			Run: func(w io.Writer, opts RunOpts) error {
+				r, err := Fig2(nil, opts)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintln(w, r.Table().String())
+				fmt.Fprintln(w, r.HistogramString())
+				return nil
+			},
+		},
+		{
+			ID:          "fig3",
+			Description: "Tomcat/MySQL CPU timelines at 1s and Table I at WL 8,000",
+			Run: func(w io.Writer, opts RunOpts) error {
+				r, err := Fig3TableI(opts)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintln(w, r.TimelineString())
+				fmt.Fprintln(w, r.Table().String())
+				return nil
+			},
+		},
+		{
+			ID:          "fig4",
+			Description: "Black-box transaction trace reconstruction and accuracy",
+			Run: func(w io.Writer, opts RunOpts) error {
+				r, err := Fig4(opts)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintln(w, r.Table().String())
+				fmt.Fprintln(w, r.SampleTransaction)
+				return nil
+			},
+		},
+		{
+			ID:          "fig5",
+			Description: "MySQL fine-grained load/throughput at WL 7,000 with N*",
+			Run: func(w io.Writer, opts RunOpts) error {
+				r, err := Fig5(opts)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintln(w, r.TimelineString())
+				fmt.Fprintln(w, r.Table().String())
+				return nil
+			},
+		},
+		{
+			ID:          "fig6",
+			Description: "Load calculation example (deterministic)",
+			Run: func(w io.Writer, _ RunOpts) error {
+				r, err := Fig6()
+				if err != nil {
+					return err
+				}
+				fmt.Fprintln(w, r.Table().String())
+				return nil
+			},
+		},
+		{
+			ID:          "fig7",
+			Description: "Work-unit throughput normalization example (deterministic)",
+			Run: func(w io.Writer, _ RunOpts) error {
+				r, err := Fig7()
+				if err != nil {
+					return err
+				}
+				fmt.Fprintln(w, r.Table().String())
+				return nil
+			},
+		},
+		{
+			ID:          "fig8",
+			Description: "Monitoring interval length sensitivity (20ms/50ms/1s) at WL 14,000",
+			Run: func(w io.Writer, opts RunOpts) error {
+				r, err := Fig8(opts)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintln(w, r.Table().String())
+				return nil
+			},
+		},
+		{
+			ID:          "fig9-11",
+			Description: "JVM GC case study: JDK 1.5 vs 1.6 at WL 7,000/14,000",
+			Run: func(w io.Writer, opts RunOpts) error {
+				r, err := GCCase(opts)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintln(w, r.Table().String())
+				fmt.Fprintln(w, r.TimelineString())
+				return nil
+			},
+		},
+		{
+			ID:          "fig12-13",
+			Description: "Intel SpeedStep case study: governor on/off at WL 8,000/10,000",
+			Run: func(w io.Writer, opts RunOpts) error {
+				r, err := SpeedStepCase(opts)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintln(w, r.Table().String())
+				return nil
+			},
+		},
+		{
+			ID:          "tableII",
+			Description: "Modeled Xeon P-state table",
+			Run: func(w io.Writer, _ RunOpts) error {
+				fmt.Fprintln(w, TableII().String())
+				return nil
+			},
+		},
+		{
+			ID:          "ext-scaleout",
+			Description: "Extension: scale out the MySQL tier (the §IV-B/D solution)",
+			Run: func(w io.Writer, opts RunOpts) error {
+				r, err := ScaleOut(opts)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintln(w, r.Table().String())
+				return nil
+			},
+		},
+		{
+			ID:          "ext-normalization",
+			Description: "Ablation: work-unit throughput normalization on/off",
+			Run: func(w io.Writer, opts RunOpts) error {
+				r, err := NormalizationAblation(opts)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintln(w, r.Table().String())
+				return nil
+			},
+		},
+		{
+			ID:          "ext-mva",
+			Description: "Baseline: exact MVA (Urgaonkar-style) vs simulation across workloads",
+			Run: func(w io.Writer, opts RunOpts) error {
+				r, err := MVACompare(nil, opts)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintln(w, r.Table().String())
+				return nil
+			},
+		},
+		{
+			ID:          "ext-autointerval",
+			Description: "Future work (§III-D): automatic monitoring-interval selection",
+			Run: func(w io.Writer, opts RunOpts) error {
+				r, err := AutoInterval(opts)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintln(w, r.RenderTable().String())
+				return nil
+			},
+		},
+		{
+			ID:          "ext-noisyneighbor",
+			Description: "Extension: localize periodic CPU theft by a co-located VM",
+			Run: func(w io.Writer, opts RunOpts) error {
+				r, err := NoisyNeighbor(opts)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintln(w, r.Table().String())
+				return nil
+			},
+		},
+		{
+			ID:          "ext-governor",
+			Description: "Ablation: SpeedStep governor control-period sweep",
+			Run: func(w io.Writer, opts RunOpts) error {
+				r, err := GovernorSweep(opts)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintln(w, r.Table().String())
+				return nil
+			},
+		},
+	}
+	sort.Slice(runners, func(i, j int) bool { return runners[i].ID < runners[j].ID })
+	return runners
+}
+
+// Find returns the runner with the given ID.
+func Find(id string) (Runner, error) {
+	for _, r := range Registry() {
+		if r.ID == id {
+			return r, nil
+		}
+	}
+	return Runner{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}

@@ -1,0 +1,306 @@
+package jvm
+
+import (
+	"math"
+	"testing"
+
+	"transientbd/internal/cpu"
+	"transientbd/internal/simnet"
+)
+
+func newHeapForTest(t *testing.T, e *simnet.Engine, cfg Config) (*Heap, *cpu.Processor) {
+	t.Helper()
+	proc, err := cpu.NewProcessor(e, cpu.Config{Cores: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHeap(e, proc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, proc
+}
+
+func TestNewHeapValidation(t *testing.T) {
+	e := simnet.NewEngine()
+	proc, err := cpu.NewProcessor(e, cpu.Config{Cores: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewHeap(nil, proc, Config{Kind: CollectorSerial}); err == nil {
+		t.Error("want error for nil engine")
+	}
+	if _, err := NewHeap(e, nil, Config{Kind: CollectorSerial}); err == nil {
+		t.Error("want error for nil processor")
+	}
+	if _, err := NewHeap(e, proc, Config{}); err == nil {
+		t.Error("want error for missing collector kind")
+	}
+}
+
+func TestCollectorKindString(t *testing.T) {
+	if CollectorSerial.String() != "serial (JDK 1.5)" {
+		t.Errorf("serial String = %q", CollectorSerial.String())
+	}
+	if CollectorConcurrent.String() != "concurrent (JDK 1.6)" {
+		t.Errorf("concurrent String = %q", CollectorConcurrent.String())
+	}
+	if CollectorKind(0).String() != "CollectorKind(0)" {
+		t.Errorf("unknown kind String = %q", CollectorKind(0).String())
+	}
+}
+
+func TestAllocationAccumulates(t *testing.T) {
+	e := simnet.NewEngine()
+	h, _ := newHeapForTest(t, e, Config{Kind: CollectorSerial, HeapBytes: 100 * MB})
+	h.Alloc(10 * MB)
+	h.Alloc(5 * MB)
+	h.Alloc(0)  // ignored
+	h.Alloc(-3) // ignored
+	if h.Used() != 15*MB {
+		t.Errorf("Used = %d, want 15MB", h.Used())
+	}
+	if h.Collections() != 0 {
+		t.Errorf("Collections = %d, want 0", h.Collections())
+	}
+}
+
+func TestSerialGCTriggersAndPauses(t *testing.T) {
+	e := simnet.NewEngine()
+	h, proc := newHeapForTest(t, e, Config{
+		Kind:             CollectorSerial,
+		HeapBytes:        100 * MB,
+		TriggerFraction:  0.9,
+		LiveFraction:     0.2,
+		SerialPausePerGB: 1000 * simnet.Millisecond,
+	})
+	h.Alloc(90 * MB) // crosses 90% threshold
+	if !h.InGC() {
+		t.Fatal("GC did not trigger at threshold")
+	}
+	if !proc.Paused() {
+		t.Fatal("serial GC did not pause the processor (must be stop-the-world)")
+	}
+	if err := e.Run(10 * simnet.Second); err != nil {
+		t.Fatal(err)
+	}
+	if h.InGC() {
+		t.Error("GC never finished")
+	}
+	if proc.Paused() {
+		t.Error("processor still paused after GC")
+	}
+	if h.Collections() != 1 {
+		t.Fatalf("Collections = %d, want 1", h.Collections())
+	}
+	ev := h.Log()[0]
+	// Collected 90-20=70MB at 1000ms/GB → ~68.4ms pause.
+	wantPause := 70.0 / 1024.0 * 1000.0 // ms
+	gotPause := (ev.End - ev.Start).Millis()
+	if math.Abs(gotPause-wantPause) > 1 {
+		t.Errorf("pause = %.2fms, want ~%.2fms", gotPause, wantPause)
+	}
+	if len(ev.Pauses) != 1 {
+		t.Errorf("serial GC pauses = %d, want 1 (whole cycle)", len(ev.Pauses))
+	}
+	if ev.CollectedBytes != 70*MB {
+		t.Errorf("CollectedBytes = %d, want 70MB", ev.CollectedBytes)
+	}
+	if h.Used() != 20*MB {
+		t.Errorf("post-GC Used = %d, want live set 20MB", h.Used())
+	}
+}
+
+func TestSerialGCFreezesJobs(t *testing.T) {
+	e := simnet.NewEngine()
+	h, proc := newHeapForTest(t, e, Config{
+		Kind:             CollectorSerial,
+		HeapBytes:        100 * MB,
+		SerialPausePerGB: 1024 * simnet.Millisecond, // 1ms per MB: 65MB -> 65ms
+		TriggerFraction:  0.9,
+		LiveFraction:     0.25,
+	})
+	var doneAt simnet.Time = -1
+	proc.Submit(10*simnet.Millisecond, func() { doneAt = e.Now() })
+	e.Schedule(5*simnet.Millisecond, func() { h.Alloc(90 * MB) })
+	if err := e.Run(simnet.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Job: 5ms progress, then frozen for (90-25)MB * 1ms = 65ms, then 5ms.
+	want := 75 * simnet.Millisecond
+	if doneAt != want {
+		t.Errorf("job finished at %v, want %v", doneAt, want)
+	}
+}
+
+func TestAllocDuringGCBuffered(t *testing.T) {
+	e := simnet.NewEngine()
+	h, _ := newHeapForTest(t, e, Config{
+		Kind:            CollectorSerial,
+		HeapBytes:       100 * MB,
+		TriggerFraction: 0.9,
+		LiveFraction:    0.2,
+	})
+	h.Alloc(90 * MB)
+	if !h.InGC() {
+		t.Fatal("GC should be running")
+	}
+	h.Alloc(7 * MB) // arrives mid-GC
+	if err := e.Run(10 * simnet.Second); err != nil {
+		t.Fatal(err)
+	}
+	if h.Used() != 27*MB {
+		t.Errorf("post-GC Used = %dMB, want live 20MB + pending 7MB", h.Used()/MB)
+	}
+}
+
+func TestConcurrentGCShortPauses(t *testing.T) {
+	e := simnet.NewEngine()
+	h, proc := newHeapForTest(t, e, Config{
+		Kind:                CollectorConcurrent,
+		HeapBytes:           100 * MB,
+		TriggerFraction:     0.9,
+		LiveFraction:        0.2,
+		ConcurrentPause:     4 * simnet.Millisecond,
+		ConcurrentWorkPerGB: 1000 * simnet.Millisecond,
+	})
+	h.Alloc(90 * MB)
+	if err := e.Run(10 * simnet.Second); err != nil {
+		t.Fatal(err)
+	}
+	if h.Collections() != 1 {
+		t.Fatalf("Collections = %d, want 1", h.Collections())
+	}
+	ev := h.Log()[0]
+	if len(ev.Pauses) != 2 {
+		t.Fatalf("concurrent GC pauses = %d, want 2 (mark + remark)", len(ev.Pauses))
+	}
+	for i, p := range ev.Pauses {
+		span := p[1] - p[0]
+		if span != 4*simnet.Millisecond {
+			t.Errorf("pause %d span = %v, want 4ms", i, span)
+		}
+	}
+	// Total STW time is far shorter than a serial collection of the same
+	// heap — the mechanism behind Fig 11's improvement.
+	if got := h.TotalPause(); got != 8*simnet.Millisecond {
+		t.Errorf("TotalPause = %v, want 8ms", got)
+	}
+	if proc.Paused() {
+		t.Error("processor left paused")
+	}
+}
+
+func TestConcurrentGCCompetesForCPU(t *testing.T) {
+	e := simnet.NewEngine()
+	h, proc := newHeapForTest(t, e, Config{
+		Kind:                CollectorConcurrent,
+		HeapBytes:           1024 * MB,
+		TriggerFraction:     0.9,
+		LiveFraction:        0.1,
+		ConcurrentPause:     simnet.Millisecond,
+		ConcurrentWorkPerGB: 100 * simnet.Millisecond,
+	})
+	h.Alloc(922 * MB) // trigger: collected ≈ 820MB → ~80ms background work
+	// On a single core, an app job submitted after the cycle starts must
+	// wait for the background GC job.
+	var doneAt simnet.Time = -1
+	e.Schedule(2*simnet.Millisecond, func() {
+		proc.Submit(10*simnet.Millisecond, func() { doneAt = e.Now() })
+	})
+	if err := e.Run(10 * simnet.Second); err != nil {
+		t.Fatal(err)
+	}
+	if doneAt < 80*simnet.Millisecond {
+		t.Errorf("app job finished at %v; expected delay behind ~80ms GC work", doneAt)
+	}
+}
+
+func TestBackToBackCollection(t *testing.T) {
+	e := simnet.NewEngine()
+	h, _ := newHeapForTest(t, e, Config{
+		Kind:            CollectorSerial,
+		HeapBytes:       100 * MB,
+		TriggerFraction: 0.9,
+		LiveFraction:    0.2,
+	})
+	h.Alloc(90 * MB)
+	// Huge allocation during GC: after the cycle, occupancy is again above
+	// the threshold, forcing an immediate second collection.
+	h.Alloc(85 * MB)
+	if err := e.Run(10 * simnet.Second); err != nil {
+		t.Fatal(err)
+	}
+	if h.Collections() != 2 {
+		t.Errorf("Collections = %d, want 2 (back-to-back)", h.Collections())
+	}
+}
+
+func TestRunningRatio(t *testing.T) {
+	e := simnet.NewEngine()
+	h, _ := newHeapForTest(t, e, Config{
+		Kind:             CollectorSerial,
+		HeapBytes:        100 * MB,
+		TriggerFraction:  0.9,
+		LiveFraction:     0.2,
+		SerialPausePerGB: 1024 * simnet.Millisecond, // 1ms/MB → 70ms pause
+	})
+	e.Schedule(100*simnet.Millisecond, func() { h.Alloc(90 * MB) })
+	if err := e.Run(simnet.Second); err != nil {
+		t.Fatal(err)
+	}
+	ratio, err := h.RunningRatio(0, simnet.Second, 100*simnet.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GC spans [100ms, 170ms): interval 1 fully in GC 70%.
+	if got := ratio.Value(0); got != 0 {
+		t.Errorf("interval 0 ratio = %v, want 0", got)
+	}
+	if got := ratio.Value(1); math.Abs(got-0.7) > 1e-9 {
+		t.Errorf("interval 1 ratio = %v, want 0.7", got)
+	}
+	if got := ratio.Value(2); got != 0 {
+		t.Errorf("interval 2 ratio = %v, want 0", got)
+	}
+}
+
+func TestHeapClampsAtCapacity(t *testing.T) {
+	e := simnet.NewEngine()
+	h, _ := newHeapForTest(t, e, Config{
+		Kind:            CollectorSerial,
+		HeapBytes:       100 * MB,
+		TriggerFraction: 0.99,
+		LiveFraction:    0.2,
+	})
+	h.Alloc(500 * MB) // more than the heap: clamped, triggers GC
+	if err := e.Run(10 * simnet.Second); err != nil {
+		t.Fatal(err)
+	}
+	if h.Collections() != 1 {
+		t.Errorf("Collections = %d, want 1", h.Collections())
+	}
+	if h.Log()[0].CollectedBytes != 80*MB {
+		t.Errorf("CollectedBytes = %dMB, want 80MB (clamped heap - live)", h.Log()[0].CollectedBytes/MB)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	cfg := Config{Kind: CollectorConcurrent}
+	if err := cfg.applyDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.HeapBytes != 512*MB {
+		t.Errorf("default heap = %d", cfg.HeapBytes)
+	}
+	if cfg.TriggerFraction != 0.9 || cfg.LiveFraction != 0.25 {
+		t.Errorf("default fractions = %v/%v", cfg.TriggerFraction, cfg.LiveFraction)
+	}
+	if cfg.SerialPausePerGB != 600*simnet.Millisecond {
+		t.Errorf("default serial pause = %v", cfg.SerialPausePerGB)
+	}
+	bad := Config{Kind: CollectorKind(99)}
+	if err := bad.applyDefaults(); err == nil {
+		t.Error("want error for unknown kind")
+	}
+}

@@ -1,0 +1,155 @@
+// Package mva implements exact Mean Value Analysis for closed queueing
+// networks — the analytical modeling baseline the paper contrasts with
+// (§V: Urgaonkar et al.'s MVA-based provisioning model, which "has
+// difficulties dealing with wide-range response time variations caused by
+// bursty workloads and transient bottlenecks").
+//
+// MVA predicts steady-state mean throughput, response time and queue
+// lengths of an n-tier system from per-tier service demands and the
+// closed-loop population. It has no time dimension: by construction it
+// cannot represent a transient bottleneck, a stop-the-world freeze, or a
+// frequency-scaled CPU. The ext-mva experiment quantifies exactly that
+// gap: MVA tracks the simulated *means* closely while the simulated
+// response-time *tail* (the paper's subject) is invisible to it.
+//
+// Multi-server stations use Seidmann's approximation: a station with c
+// servers and demand D is modeled as a queueing station with demand D/c
+// in series with a pure delay of D·(c−1)/c.
+package mva
+
+import (
+	"errors"
+	"fmt"
+
+	"transientbd/internal/simnet"
+)
+
+// Station is one service center of the closed network.
+type Station struct {
+	// Name identifies the station in results.
+	Name string
+	// Demand is the total service demand per transaction at this station
+	// (visit ratio × per-visit service time).
+	Demand simnet.Duration
+	// Servers is the number of parallel servers (cores × instances).
+	Servers int
+}
+
+// StationResult is the steady-state prediction for one station.
+type StationResult struct {
+	Name string
+	// Utilization is per-server utilization (0..1).
+	Utilization float64
+	// QueueLen is the mean number of transactions at the station
+	// (queued + in service).
+	QueueLen float64
+	// Residence is the mean time per transaction spent at the station.
+	Residence simnet.Duration
+}
+
+// Result is the network prediction at one population size.
+type Result struct {
+	// Population is the number of closed-loop users.
+	Population int
+	// Throughput is transactions per second.
+	Throughput float64
+	// ResponseTime is the mean end-to-end response time.
+	ResponseTime simnet.Duration
+	// Stations holds per-station predictions, in input order.
+	Stations []StationResult
+}
+
+// Bottleneck returns the station with the highest utilization.
+func (r Result) Bottleneck() StationResult {
+	best := StationResult{}
+	for _, s := range r.Stations {
+		if s.Utilization >= best.Utilization {
+			best = s
+		}
+	}
+	return best
+}
+
+// ErrNoStations is returned when the network is empty.
+var ErrNoStations = errors.New("mva: no stations")
+
+// Solve runs the exact MVA recursion for populations 1..n and returns the
+// result at population n. Think is the closed-loop think time.
+func Solve(stations []Station, think simnet.Duration, n int) (Result, error) {
+	results, err := SolveSweep(stations, think, n)
+	if err != nil {
+		return Result{}, err
+	}
+	return results[len(results)-1], nil
+}
+
+// SolveSweep runs exact MVA and returns results for every population
+// 1..n (the recursion computes them all anyway).
+func SolveSweep(stations []Station, think simnet.Duration, n int) ([]Result, error) {
+	if len(stations) == 0 {
+		return nil, ErrNoStations
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("mva: population must be positive, got %d", n)
+	}
+	if think < 0 {
+		return nil, fmt.Errorf("mva: negative think time %v", think)
+	}
+	type center struct {
+		name    string
+		queueD  float64 // queueing demand (seconds)
+		delayD  float64 // pure-delay demand (seconds)
+		servers int
+	}
+	centers := make([]center, len(stations))
+	for i, st := range stations {
+		if st.Demand < 0 {
+			return nil, fmt.Errorf("mva: station %q has negative demand", st.Name)
+		}
+		c := st.Servers
+		if c <= 0 {
+			c = 1
+		}
+		d := st.Demand.Seconds()
+		centers[i] = center{
+			name:    st.Name,
+			queueD:  d / float64(c),
+			delayD:  d * float64(c-1) / float64(c),
+			servers: c,
+		}
+	}
+	z := think.Seconds()
+
+	queue := make([]float64, len(centers)) // Q_k at previous population
+	out := make([]Result, 0, n)
+	for pop := 1; pop <= n; pop++ {
+		// Residence per station.
+		var totalR float64
+		res := make([]float64, len(centers))
+		for k, c := range centers {
+			res[k] = c.queueD*(1+queue[k]) + c.delayD
+			totalR += res[k]
+		}
+		x := float64(pop) / (z + totalR)
+		result := Result{
+			Population:   pop,
+			Throughput:   x,
+			ResponseTime: simnet.Duration(totalR * float64(simnet.Second)),
+		}
+		for k, c := range centers {
+			queue[k] = x * res[k]
+			util := x * c.queueD
+			if util > 1 {
+				util = 1
+			}
+			result.Stations = append(result.Stations, StationResult{
+				Name:        c.name,
+				Utilization: util,
+				QueueLen:    queue[k],
+				Residence:   simnet.Duration(res[k] * float64(simnet.Second)),
+			})
+		}
+		out = append(out, result)
+	}
+	return out, nil
+}

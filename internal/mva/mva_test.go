@@ -1,0 +1,179 @@
+package mva
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"transientbd/internal/simnet"
+)
+
+const ms = simnet.Millisecond
+
+func TestSolveValidation(t *testing.T) {
+	if _, err := Solve(nil, 0, 10); err != ErrNoStations {
+		t.Errorf("err = %v, want ErrNoStations", err)
+	}
+	st := []Station{{Name: "a", Demand: ms, Servers: 1}}
+	if _, err := Solve(st, 0, 0); err == nil {
+		t.Error("want error for zero population")
+	}
+	if _, err := Solve(st, -simnet.Second, 5); err == nil {
+		t.Error("want error for negative think")
+	}
+	bad := []Station{{Name: "a", Demand: -ms, Servers: 1}}
+	if _, err := Solve(bad, 0, 5); err == nil {
+		t.Error("want error for negative demand")
+	}
+}
+
+// Single-station network, one customer, no think time: the customer is
+// always in service, so X = 1/D and R = D.
+func TestSingleCustomerSingleStation(t *testing.T) {
+	st := []Station{{Name: "cpu", Demand: 100 * ms, Servers: 1}}
+	r, err := Solve(st, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Throughput-10) > 1e-9 {
+		t.Errorf("X = %v, want 10/s", r.Throughput)
+	}
+	if r.ResponseTime != 100*ms {
+		t.Errorf("R = %v, want 100ms", r.ResponseTime)
+	}
+	if math.Abs(r.Stations[0].Utilization-1.0) > 1e-9 {
+		t.Errorf("util = %v, want 1", r.Stations[0].Utilization)
+	}
+}
+
+// Asymptotics: as N grows, throughput approaches the bottleneck bound
+// 1/Dmax and utilization of the bottleneck approaches 1.
+func TestBottleneckBound(t *testing.T) {
+	st := []Station{
+		{Name: "web", Demand: 10 * ms, Servers: 1},
+		{Name: "db", Demand: 50 * ms, Servers: 1},
+	}
+	r, err := Solve(st, simnet.Second, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := 1.0 / 0.05
+	if r.Throughput > bound+1e-9 {
+		t.Errorf("X = %v exceeds bottleneck bound %v", r.Throughput, bound)
+	}
+	if r.Throughput < 0.99*bound {
+		t.Errorf("X = %v, want ~%v at high population", r.Throughput, bound)
+	}
+	b := r.Bottleneck()
+	if b.Name != "db" {
+		t.Errorf("bottleneck = %s, want db", b.Name)
+	}
+	if b.Utilization < 0.99 {
+		t.Errorf("bottleneck util = %v, want ~1", b.Utilization)
+	}
+}
+
+// Low-population limit: with large think time, the network is nearly
+// uncontended and X ≈ N/(Z + ΣD).
+func TestLightLoadLimit(t *testing.T) {
+	st := []Station{
+		{Name: "a", Demand: 5 * ms, Servers: 2},
+		{Name: "b", Demand: 3 * ms, Servers: 1},
+	}
+	think := 10 * simnet.Second
+	r, err := Solve(st, think, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 5.0 / (10.0 + 0.008)
+	if math.Abs(r.Throughput-want)/want > 0.01 {
+		t.Errorf("X = %v, want ~%v", r.Throughput, want)
+	}
+	// Response time near the raw demand.
+	if r.ResponseTime > 10*ms {
+		t.Errorf("R = %v, want near 8ms", r.ResponseTime)
+	}
+}
+
+// Seidmann: a c-server station must outperform a single server with the
+// same total demand and match a single server of demand D/c at light
+// load.
+func TestMultiServerApproximation(t *testing.T) {
+	single := []Station{{Name: "s", Demand: 40 * ms, Servers: 1}}
+	quad := []Station{{Name: "s", Demand: 40 * ms, Servers: 4}}
+	rs, err := Solve(single, simnet.Second, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rq, err := Solve(quad, simnet.Second, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rq.Throughput <= rs.Throughput {
+		t.Errorf("4-server X %v not above 1-server %v", rq.Throughput, rs.Throughput)
+	}
+	// Capacity bound of the quad station: 4/D = 100/s.
+	if rq.Throughput > 100+1e-9 {
+		t.Errorf("quad X %v exceeds capacity bound", rq.Throughput)
+	}
+}
+
+// Little's law holds at every population: N = X·(R + Z).
+func TestLittlesLawProperty(t *testing.T) {
+	st := []Station{
+		{Name: "a", Demand: 7 * ms, Servers: 2},
+		{Name: "b", Demand: 11 * ms, Servers: 1},
+		{Name: "c", Demand: 2 * ms, Servers: 4},
+	}
+	results, err := SolveSweep(st, 500*ms, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		lhs := float64(r.Population)
+		rhs := r.Throughput * (r.ResponseTime.Seconds() + 0.5)
+		// ResponseTime is truncated to whole microseconds, so allow that
+		// much slack.
+		if math.Abs(lhs-rhs)/lhs > 1e-5 {
+			t.Fatalf("Little's law violated at N=%d: %v vs %v", r.Population, lhs, rhs)
+		}
+	}
+}
+
+// Throughput is monotone non-decreasing in population, and response time
+// non-decreasing.
+func TestMonotonicityProperty(t *testing.T) {
+	f := func(d1, d2 uint8, servers uint8) bool {
+		st := []Station{
+			{Name: "a", Demand: simnet.Duration(d1%50+1) * ms, Servers: int(servers%4) + 1},
+			{Name: "b", Demand: simnet.Duration(d2%50+1) * ms, Servers: 1},
+		}
+		results, err := SolveSweep(st, simnet.Second, 60)
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(results); i++ {
+			if results[i].Throughput < results[i-1].Throughput-1e-9 {
+				return false
+			}
+			if results[i].ResponseTime < results[i-1].ResponseTime {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroServersTreatedAsOne(t *testing.T) {
+	st := []Station{{Name: "a", Demand: 10 * ms, Servers: 0}}
+	r, err := Solve(st, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ResponseTime != 10*ms {
+		t.Errorf("R = %v, want 10ms", r.ResponseTime)
+	}
+}

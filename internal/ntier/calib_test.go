@@ -1,0 +1,63 @@
+package ntier
+
+import (
+	"testing"
+
+	"transientbd/internal/jvm"
+	"transientbd/internal/simnet"
+	"transientbd/internal/stats"
+	"transientbd/internal/workload"
+)
+
+// TestCalibrationWL8000 pins the headline calibration of DESIGN.md: at the
+// paper's WL 8,000 (SpeedStep off, healthy JDK 1.6 collector) the system
+// is NOT saturated, Tomcat sits near 80% CPU and MySQL near 78% (Fig 3 /
+// Table I), and throughput follows the closed-loop law.
+func TestCalibrationWL8000(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration run takes a few seconds")
+	}
+	sys, err := Build(Config{
+		Users:        8000,
+		Duration:     60 * simnet.Second,
+		Ramp:         20 * simnet.Second,
+		Seed:         1,
+		AppCollector: jvm.CollectorConcurrent,
+		Burst:        DefaultBurst(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages := res.PagesPerSecond()
+	if pages < 950 || pages > 1350 {
+		t.Errorf("throughput = %.0f pages/s, want ~1000-1300", pages)
+	}
+	// Tier utilizations (averaged across instances).
+	tomcat := (res.Utilization["tomcat-1"] + res.Utilization["tomcat-2"]) / 2
+	mysql := (res.Utilization["mysql-1"] + res.Utilization["mysql-2"]) / 2
+	apache := res.Utilization["apache"]
+	cjdbc := res.Utilization["cjdbc"]
+	if tomcat < 0.68 || tomcat > 0.92 {
+		t.Errorf("tomcat util = %.3f, want ~0.80 (paper 79.9%%)", tomcat)
+	}
+	if mysql < 0.65 || mysql > 0.90 {
+		t.Errorf("mysql util = %.3f, want ~0.78 (paper 78.1%%)", mysql)
+	}
+	if apache > 0.55 {
+		t.Errorf("apache util = %.3f, want far from saturation (paper 34.6%%)", apache)
+	}
+	if cjdbc > 0.50 {
+		t.Errorf("cjdbc util = %.3f, want far from saturation (paper 26.7%%)", cjdbc)
+	}
+	// Mean RT should be modest (system below saturation).
+	rts := workload.ResponseTimesSeconds(res.Samples)
+	if m := stats.Mean(rts); m > 0.8 {
+		t.Errorf("mean RT = %.3fs, want below saturation regime", m)
+	}
+	t.Logf("WL8000: %.0f pages/s, util apache=%.2f tomcat=%.2f cjdbc=%.2f mysql=%.2f, meanRT=%.3fs",
+		pages, apache, tomcat, cjdbc, mysql, stats.Mean(rts))
+}

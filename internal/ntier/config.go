@@ -1,0 +1,225 @@
+// Package ntier assembles the full system under test: the paper's
+// 1L/2S/1L/2S RUBBoS deployment (Fig 1) as a discrete-event simulation.
+// One web server (Apache), two application servers (Tomcat), one
+// clustering middleware (C-JDBC) and two database servers (MySQL), each a
+// server.Server with its own multi-core cpu.Processor, driven by a
+// closed-loop workload.Generator, with every inter-tier message captured
+// by a trace.Collector.
+//
+// The two causal mechanisms of the paper's case studies are switchable:
+//
+//   - AppCollector selects the Tomcat JVM collector (JDK 1.5 serial vs
+//     JDK 1.6 concurrent, §IV-A/B).
+//   - DBSpeedStep enables the sluggish SpeedStep governor on the MySQL
+//     hosts (§IV-C/D).
+package ntier
+
+import (
+	"fmt"
+
+	"transientbd/internal/cpu"
+	"transientbd/internal/jvm"
+	"transientbd/internal/simnet"
+	"transientbd/internal/workload"
+)
+
+// Topology is the #W/#A/#C/#D server-count notation from §II-A.
+type Topology struct {
+	Web, App, Cluster, DB int
+}
+
+// Default1L2S1L2S returns the paper's sample topology.
+func Default1L2S1L2S() Topology {
+	return Topology{Web: 1, App: 2, Cluster: 1, DB: 2}
+}
+
+// String renders the paper's four-digit notation, e.g. "1L/2S/1L/2S".
+func (t Topology) String() string {
+	return fmt.Sprintf("%dL/%dS/%dL/%dS", t.Web, t.App, t.Cluster, t.DB)
+}
+
+// Config configures a System build.
+type Config struct {
+	// Users is the closed-loop population (the paper's workload number).
+	// Required.
+	Users int
+	// Duration is the measured run length. Defaults to 3 minutes, the
+	// paper's experiment length.
+	Duration simnet.Duration
+	// Ramp is the warm-up excluded from measurement. Defaults to 20 s.
+	Ramp simnet.Duration
+	// Seed makes the whole run reproducible.
+	Seed int64
+
+	// Topology defaults to 1L/2S/1L/2S.
+	Topology Topology
+	// CoresPerVM is the vCPU count pinned to each VM. Defaults to 2,
+	// matching Fig 1's CPU0/CPU1 pinning.
+	CoresPerVM int
+
+	// DBSpeedStep enables the SpeedStep step-governor on the MySQL hosts;
+	// when false the DB CPUs are pinned to P0 ("disabled in BIOS").
+	DBSpeedStep bool
+	// GovernorPeriod is the SpeedStep control period (BIOS sluggishness).
+	// Defaults to 500 ms.
+	GovernorPeriod simnet.Duration
+	// GovernorUp and GovernorDown are the step-governor thresholds.
+	// Defaults: 0.95 / 0.88 — an aggressive power-saving policy that
+	// keeps the clock barely sufficient for the average demand, so any
+	// burst lands on an under-clocked CPU (the Dell BIOS behaviour §IV-C
+	// blames).
+	GovernorUp, GovernorDown float64
+	// DBGovernor, when non-nil, replaces the governor DBSpeedStep would
+	// install (e.g. cpu.OndemandGovernor for the counterfactual "a
+	// responsive algorithm fixes it" ablation).
+	DBGovernor cpu.Governor
+
+	// Antagonist, when non-nil, periodically steals CPU on one server —
+	// a noisy-neighbor VM sharing the host, a third cause of transient
+	// bottlenecks beyond GC and SpeedStep in the paper's consolidated-
+	// cloud setting.
+	Antagonist *AntagonistConfig
+
+	// AppCollector selects the Tomcat collector; zero disables GC
+	// entirely (no heap).
+	AppCollector jvm.CollectorKind
+	// AppHeapBytes is the Tomcat heap size. Defaults to 384 MB.
+	AppHeapBytes int64
+
+	// Workload shape.
+	Mix       []workload.Interaction
+	ThinkMean simnet.Duration
+	Burst     workload.BurstConfig
+	// NoiseSigma is lognormal service-time noise (σ of log). Defaults to
+	// 0.08.
+	NoiseSigma float64
+
+	// Thread pools. Defaults: web 150 (+100 backlog), app 200, cluster
+	// 400, DB 300.
+	WebThreads, AppThreads, ClusterThreads, DBThreads int
+	// WebAcceptBacklog bounds the web tier accept queue; overflowing it
+	// costs a TCP retransmission (footnote 1 of the paper).
+	WebAcceptBacklog int
+	// RetransDelay is the TCP retransmission timeout. Defaults to 3 s.
+	RetransDelay simnet.Duration
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Users <= 0 {
+		return fmt.Errorf("ntier: users must be positive, got %d", c.Users)
+	}
+	if c.Duration <= 0 {
+		c.Duration = 3 * simnet.Minute
+	}
+	if c.Ramp <= 0 {
+		c.Ramp = 20 * simnet.Second
+	}
+	if c.Topology == (Topology{}) {
+		c.Topology = Default1L2S1L2S()
+	}
+	if c.Topology.Web <= 0 || c.Topology.App <= 0 || c.Topology.Cluster <= 0 || c.Topology.DB <= 0 {
+		return fmt.Errorf("ntier: topology %v has empty tiers", c.Topology)
+	}
+	if c.CoresPerVM <= 0 {
+		c.CoresPerVM = 2
+	}
+	if c.GovernorPeriod <= 0 {
+		c.GovernorPeriod = 500 * simnet.Millisecond
+	}
+	if c.GovernorUp <= 0 {
+		c.GovernorUp = 0.95
+	}
+	if c.GovernorDown <= 0 {
+		c.GovernorDown = 0.88
+	}
+	if c.AppHeapBytes <= 0 {
+		c.AppHeapBytes = 384 * jvm.MB
+	}
+	if len(c.Mix) == 0 {
+		c.Mix = workload.BrowseOnlyMix()
+	}
+	if c.ThinkMean <= 0 {
+		c.ThinkMean = 8400 * simnet.Millisecond
+	}
+	if c.NoiseSigma < 0 {
+		return fmt.Errorf("ntier: negative noise sigma %v", c.NoiseSigma)
+	}
+	if c.NoiseSigma == 0 {
+		c.NoiseSigma = 0.08
+	}
+	if c.WebThreads <= 0 {
+		c.WebThreads = 150
+	}
+	if c.AppThreads <= 0 {
+		c.AppThreads = 200
+	}
+	if c.ClusterThreads <= 0 {
+		c.ClusterThreads = 400
+	}
+	if c.DBThreads <= 0 {
+		c.DBThreads = 300
+	}
+	if c.WebAcceptBacklog <= 0 {
+		c.WebAcceptBacklog = 100
+	}
+	if c.RetransDelay <= 0 {
+		c.RetransDelay = 3 * simnet.Second
+	}
+	if c.Antagonist != nil {
+		if err := c.Antagonist.applyDefaults(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AntagonistConfig describes a periodic CPU hog co-located with one
+// server.
+type AntagonistConfig struct {
+	// Target is the victim server's name (e.g. "mysql-1"). Required.
+	Target string
+	// Period is the interval between hog bursts. Defaults to 3 s.
+	Period simnet.Duration
+	// BurstLen is how long each burst occupies every core. Defaults to
+	// 300 ms.
+	BurstLen simnet.Duration
+}
+
+func (a *AntagonistConfig) applyDefaults() error {
+	if a.Target == "" {
+		return fmt.Errorf("ntier: antagonist needs a target server")
+	}
+	if a.Period <= 0 {
+		a.Period = 3 * simnet.Second
+	}
+	if a.BurstLen <= 0 {
+		a.BurstLen = 300 * simnet.Millisecond
+	}
+	if a.BurstLen >= a.Period {
+		return fmt.Errorf("ntier: antagonist burst %v must be shorter than period %v",
+			simnet.Std(a.BurstLen), simnet.Std(a.Period))
+	}
+	return nil
+}
+
+// DefaultBurst returns the burst modulation used by the paper-shaped
+// experiments: correlated surges that multiply instantaneous demand by
+// 2.5× for about a second, every several seconds.
+func DefaultBurst() workload.BurstConfig {
+	return workload.BurstConfig{
+		Factor:  2.5,
+		OnMean:  1200 * simnet.Millisecond,
+		OffMean: 6 * simnet.Second,
+	}
+}
+
+// newDBGovernor builds the governor for a DB host processor.
+func (c *Config) newDBGovernor() cpu.Governor {
+	if c.DBGovernor != nil {
+		return c.DBGovernor
+	}
+	if c.DBSpeedStep {
+		return cpu.StepGovernor{UpThreshold: c.GovernorUp, DownThreshold: c.GovernorDown}
+	}
+	return cpu.FixedGovernor{State: 0}
+}

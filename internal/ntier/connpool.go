@@ -1,0 +1,37 @@
+package ntier
+
+// connPool hands out TCP connection identities per (from, to) host pair,
+// emulating the connection pooling of a synchronous RPC stack: a
+// connection carries at most one outstanding call, is returned to the
+// pool when the response arrives, and new connections are opened only
+// when the pool is empty. The identities appear on wire messages and are
+// what lets a black-box tracer (SysViz, trace.Reconstruct) demultiplex
+// concurrent same-class calls.
+type connPool struct {
+	free map[[2]string][]int64
+	next int64
+}
+
+func newConnPool() *connPool {
+	return &connPool{free: make(map[[2]string][]int64)}
+}
+
+// acquire checks a connection out of the (from, to) pool, opening a new
+// one if none is free.
+func (p *connPool) acquire(from, to string) int64 {
+	key := [2]string{from, to}
+	q := p.free[key]
+	if n := len(q); n > 0 {
+		conn := q[n-1]
+		p.free[key] = q[:n-1]
+		return conn
+	}
+	p.next++
+	return p.next
+}
+
+// release returns a connection to its pool.
+func (p *connPool) release(from, to string, conn int64) {
+	key := [2]string{from, to}
+	p.free[key] = append(p.free[key], conn)
+}

@@ -1,0 +1,272 @@
+// Package stats is the statistical substrate for the transient-bottleneck
+// detection method: descriptive statistics, Student t quantiles (used by
+// the intervention analysis of §III-C), histograms for response-time
+// distributions (Fig 2c), correlation and simple regression.
+//
+// Everything is implemented from scratch on the standard library, per the
+// repository's stdlib-only constraint.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that need at least one sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance (divide by n) of xs, or 0 for
+// fewer than one sample. The paper's Eq. 2 uses the population form
+// s.d.{δ} = sqrt(Σ(δi-δ̄)²) without the 1/(n-1); see SDSumSquares.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n)
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// SampleVariance returns the unbiased sample variance (divide by n-1), or 0
+// for fewer than two samples.
+func SampleVariance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// SampleStdDev returns the unbiased sample standard deviation.
+func SampleStdDev(xs []float64) float64 {
+	return math.Sqrt(SampleVariance(xs))
+}
+
+// SDSumSquares returns sqrt(Σ(xi - x̄)²), the un-normalized dispersion used
+// verbatim in the paper's Eq. 2 footnote 4.
+func SDSumSquares(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss)
+}
+
+// MinMax returns the smallest and largest values in xs.
+func MinMax(xs []float64) (minVal, maxVal float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	minVal, maxVal = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < minVal {
+			minVal = x
+		}
+		if x > maxVal {
+			maxVal = x
+		}
+	}
+	return minVal, maxVal, nil
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
+// interpolation between closest ranks. xs does not need to be sorted.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p), nil
+}
+
+// Percentiles returns multiple percentiles in one sorting pass.
+func Percentiles(xs []float64, ps []float64) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		if p < 0 {
+			p = 0
+		}
+		if p > 100 {
+			p = 100
+		}
+		out[i] = percentileSorted(sorted, p)
+	}
+	return out, nil
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) (float64, error) {
+	return Percentile(xs, 50)
+}
+
+// FractionAbove reports the fraction of samples strictly greater than
+// threshold. Used for the paper's "% of requests with response time over
+// 2s" metric (Fig 2b).
+func FractionAbove(xs []float64, threshold float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	count := 0
+	for _, x := range xs {
+		if x > threshold {
+			count++
+		}
+	}
+	return float64(count) / float64(len(xs))
+}
+
+// PearsonR returns the Pearson correlation coefficient between xs and ys.
+// It returns 0 when either series is constant or the lengths differ.
+func PearsonR(xs, ys []float64) float64 {
+	n := len(xs)
+	if n == 0 || n != len(ys) {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// LinearFit fits y = a + b*x by least squares and returns intercept a and
+// slope b. It returns an error when fewer than two distinct x values exist.
+func LinearFit(xs, ys []float64) (a, b float64, err error) {
+	n := len(xs)
+	if n < 2 || n != len(ys) {
+		return 0, 0, errors.New("stats: need at least two paired samples")
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx float64
+	for i := 0; i < n; i++ {
+		dx := xs[i] - mx
+		sxy += dx * (ys[i] - my)
+		sxx += dx * dx
+	}
+	if sxx == 0 {
+		return 0, 0, errors.New("stats: x values are constant")
+	}
+	b = sxy / sxx
+	a = my - b*mx
+	return a, b, nil
+}
+
+// CV returns the coefficient of variation (population sd / mean), or 0
+// for an empty or zero-mean sample. Burstiness analyses use it: a Poisson
+// process has CV 1; correlated surges push it higher.
+func CV(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return StdDev(xs) / m
+}
+
+// ECDF returns the empirical cumulative distribution evaluated at x:
+// the fraction of samples ≤ x.
+func ECDF(xs []float64, x float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	count := 0
+	for _, v := range xs {
+		if v <= x {
+			count++
+		}
+	}
+	return float64(count) / float64(len(xs))
+}
+
+// Autocorrelation returns the lag-k autocorrelation of the series, or 0
+// when it is undefined (short or constant series). Positive values at
+// small lags indicate the load surges the paper's burst model produces.
+func Autocorrelation(xs []float64, lag int) float64 {
+	n := len(xs)
+	if lag <= 0 || lag >= n {
+		return 0
+	}
+	m := Mean(xs)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := xs[i] - m
+		den += d * d
+	}
+	if den == 0 {
+		return 0
+	}
+	for i := 0; i < n-lag; i++ {
+		num += (xs[i] - m) * (xs[i+lag] - m)
+	}
+	return num / den
+}

@@ -1,0 +1,297 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{5}, 5},
+		{"simple", []float64{1, 2, 3, 4}, 2.5},
+		{"negative", []float64{-2, 2}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Mean(tc.in); got != tc.want {
+				t.Errorf("Mean(%v) = %v, want %v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := Variance(nil); got != 0 {
+		t.Errorf("Variance(nil) = %v, want 0", got)
+	}
+}
+
+func TestSampleVariance(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := SampleVariance(xs); !almostEqual(got, 2.5, 1e-12) {
+		t.Errorf("SampleVariance = %v, want 2.5", got)
+	}
+	if got := SampleVariance([]float64{3}); got != 0 {
+		t.Errorf("SampleVariance(single) = %v, want 0", got)
+	}
+	if got := SampleStdDev(xs); !almostEqual(got, math.Sqrt(2.5), 1e-12) {
+		t.Errorf("SampleStdDev = %v", got)
+	}
+}
+
+func TestSDSumSquares(t *testing.T) {
+	xs := []float64{1, 3}
+	// mean 2, ss = 1+1 = 2, sqrt = sqrt(2)
+	if got := SDSumSquares(xs); !almostEqual(got, math.Sqrt2, 1e-12) {
+		t.Errorf("SDSumSquares = %v, want sqrt(2)", got)
+	}
+	if got := SDSumSquares(nil); got != 0 {
+		t.Errorf("SDSumSquares(nil) = %v, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi, err := MinMax([]float64{3, -1, 4, 1, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != -1 || hi != 5 {
+		t.Errorf("MinMax = (%v,%v), want (-1,5)", lo, hi)
+	}
+	if _, _, err := MinMax(nil); err != ErrEmpty {
+		t.Errorf("MinMax(nil) error = %v, want ErrEmpty", err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1},
+		{100, 10},
+		{50, 5.5},
+		{25, 3.25},
+		{90, 9.1},
+	}
+	for _, tc := range cases {
+		got, err := Percentile(xs, tc.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, tc.want, 1e-9) {
+			t.Errorf("Percentile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Error("want ErrEmpty for empty percentile")
+	}
+}
+
+func TestPercentileClamping(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	got, err := Percentile(xs, -5)
+	if err != nil || got != 1 {
+		t.Errorf("Percentile(-5) = %v, %v; want 1", got, err)
+	}
+	got, err = Percentile(xs, 150)
+	if err != nil || got != 3 {
+		t.Errorf("Percentile(150) = %v, %v; want 3", got, err)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	got, err := Percentiles(xs, []float64{0, 50, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2.5, 4}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-9) {
+			t.Errorf("Percentiles[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if _, err := Percentiles(nil, []float64{50}); err != ErrEmpty {
+		t.Error("want ErrEmpty")
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Percentile mutated input: %v", xs)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	got, err := Median([]float64{5, 1, 9})
+	if err != nil || got != 5 {
+		t.Errorf("Median = %v, %v; want 5", got, err)
+	}
+}
+
+func TestFractionAbove(t *testing.T) {
+	xs := []float64{0.5, 1.5, 2.5, 3.5}
+	if got := FractionAbove(xs, 2.0); got != 0.5 {
+		t.Errorf("FractionAbove = %v, want 0.5", got)
+	}
+	if got := FractionAbove(xs, 3.5); got != 0 {
+		t.Errorf("strictly-above: FractionAbove(3.5) = %v, want 0", got)
+	}
+	if got := FractionAbove(nil, 1); got != 0 {
+		t.Errorf("FractionAbove(nil) = %v, want 0", got)
+	}
+}
+
+func TestPearsonR(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if got := PearsonR(xs, ys); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("perfect positive r = %v, want 1", got)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if got := PearsonR(xs, neg); !almostEqual(got, -1, 1e-12) {
+		t.Errorf("perfect negative r = %v, want -1", got)
+	}
+	if got := PearsonR(xs, []float64{3, 3, 3, 3, 3}); got != 0 {
+		t.Errorf("constant series r = %v, want 0", got)
+	}
+	if got := PearsonR(xs, []float64{1, 2}); got != 0 {
+		t.Errorf("length mismatch r = %v, want 0", got)
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 1 + 2x
+	a, b, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(a, 1, 1e-9) || !almostEqual(b, 2, 1e-9) {
+		t.Errorf("fit = (%v, %v), want (1, 2)", a, b)
+	}
+	if _, _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("want error for single point")
+	}
+	if _, _, err := LinearFit([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Error("want error for constant x")
+	}
+}
+
+// Property: variance is non-negative and mean lies within [min, max].
+func TestDescriptiveProperties(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		if Variance(xs) < 0 {
+			return false
+		}
+		lo, hi, err := MinMax(xs)
+		if err != nil {
+			return false
+		}
+		m := Mean(xs)
+		return m >= lo-1e-9 && m <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Pearson r is always in [-1, 1].
+func TestPearsonBoundsProperty(t *testing.T) {
+	f := func(ax, ay []int8) bool {
+		n := len(ax)
+		if len(ay) < n {
+			n = len(ay)
+		}
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := 0; i < n; i++ {
+			xs[i] = float64(ax[i])
+			ys[i] = float64(ay[i])
+		}
+		r := PearsonR(xs, ys)
+		return r >= -1-1e-9 && r <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCV(t *testing.T) {
+	if got := CV([]float64{5, 5, 5}); got != 0 {
+		t.Errorf("constant CV = %v, want 0", got)
+	}
+	if got := CV(nil); got != 0 {
+		t.Errorf("empty CV = %v, want 0", got)
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9} // mean 5, sd 2
+	if got := CV(xs); !almostEqual(got, 0.4, 1e-12) {
+		t.Errorf("CV = %v, want 0.4", got)
+	}
+}
+
+func TestECDF(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {10, 1},
+	}
+	for _, tc := range cases {
+		if got := ECDF(xs, tc.x); got != tc.want {
+			t.Errorf("ECDF(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+	if got := ECDF(nil, 1); got != 0 {
+		t.Errorf("empty ECDF = %v, want 0", got)
+	}
+}
+
+func TestAutocorrelation(t *testing.T) {
+	// Perfectly periodic series: strong positive at its period.
+	xs := []float64{1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0}
+	if got := Autocorrelation(xs, 2); got < 0.8 {
+		t.Errorf("lag-2 autocorr = %v, want ~1 for period-2 series", got)
+	}
+	if got := Autocorrelation(xs, 1); got > -0.8 {
+		t.Errorf("lag-1 autocorr = %v, want ~-1", got)
+	}
+	// Degenerate inputs.
+	if got := Autocorrelation(xs, 0); got != 0 {
+		t.Error("lag 0 should return 0 (undefined here)")
+	}
+	if got := Autocorrelation(xs, 99); got != 0 {
+		t.Error("lag beyond length should return 0")
+	}
+	if got := Autocorrelation([]float64{3, 3, 3, 3}, 1); got != 0 {
+		t.Error("constant series should return 0")
+	}
+}

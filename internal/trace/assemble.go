@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Assemble pairs call and return messages by ground-truth HopID and builds
+// the per-server visit list, attributing downstream wait time to parent
+// visits via ParentHop. Messages may be supplied in any order.
+//
+// Unmatched calls (no return captured before the end of the run) are
+// dropped: the request was still in flight when tracing stopped, so its
+// departure timestamp is unknown — the same truncation a real packet trace
+// has at the capture boundary.
+func Assemble(msgs []Message) ([]Visit, error) {
+	type hop struct {
+		call *Message
+		ret  *Message
+	}
+	hops := make(map[int64]*hop, len(msgs)/2)
+	for i := range msgs {
+		m := &msgs[i]
+		h := hops[m.HopID]
+		if h == nil {
+			h = &hop{}
+			hops[m.HopID] = h
+		}
+		switch m.Dir {
+		case Call:
+			if h.call != nil {
+				return nil, fmt.Errorf("trace: duplicate call for hop %d", m.HopID)
+			}
+			h.call = m
+		case Return:
+			if h.ret != nil {
+				return nil, fmt.Errorf("trace: duplicate return for hop %d", m.HopID)
+			}
+			h.ret = m
+		default:
+			return nil, fmt.Errorf("trace: message with invalid direction %d", int(m.Dir))
+		}
+	}
+
+	visits := make(map[int64]*Visit, len(hops))
+	var complete []*hop
+	for id, h := range hops {
+		if h.call == nil {
+			return nil, fmt.Errorf("trace: return without call for hop %d", id)
+		}
+		if h.ret == nil {
+			continue // in flight at capture end
+		}
+		if h.ret.At < h.call.At {
+			return nil, fmt.Errorf("trace: hop %d returns before it is called", id)
+		}
+		visits[id] = &Visit{
+			Server: h.call.To,
+			Class:  h.call.Class,
+			TxnID:  h.call.TxnID,
+			HopID:  h.call.HopID,
+			Arrive: h.call.At,
+			Depart: h.ret.At,
+		}
+		complete = append(complete, h)
+	}
+
+	// Charge each completed hop's span to its parent visit as downstream
+	// wait. Calls are sequential within a visit, so spans never overlap.
+	for _, h := range complete {
+		if h.call.ParentHop == 0 {
+			continue
+		}
+		parent, ok := visits[h.call.ParentHop]
+		if !ok {
+			continue // parent still in flight; its visit is dropped anyway
+		}
+		parent.Downstream += h.ret.At - h.call.At
+	}
+
+	out := make([]Visit, 0, len(visits))
+	for _, v := range visits {
+		out = append(out, *v)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Arrive != out[j].Arrive {
+			return out[i].Arrive < out[j].Arrive
+		}
+		return out[i].HopID < out[j].HopID
+	})
+	return out, nil
+}
+
+// PerServer groups visits by server name.
+func PerServer(visits []Visit) map[string][]Visit {
+	out := make(map[string][]Visit)
+	for _, v := range visits {
+		out[v.Server] = append(out[v.Server], v)
+	}
+	return out
+}
+
+// Filter returns the visits at the named server.
+func Filter(visits []Visit, server string) []Visit {
+	var out []Visit
+	for _, v := range visits {
+		if v.Server == server {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Transactions groups visits by transaction and returns them keyed by
+// TxnID; within a transaction, visits are ordered by arrival.
+func Transactions(visits []Visit) map[int64][]Visit {
+	out := make(map[int64][]Visit)
+	for _, v := range visits {
+		out[v.TxnID] = append(out[v.TxnID], v)
+	}
+	for _, vs := range out {
+		sort.Slice(vs, func(i, j int) bool { return vs[i].Arrive < vs[j].Arrive })
+	}
+	return out
+}
+
+// CallGraph derives the caller → callees map from the wire capture: every
+// observed call edge except those originating at the client. This is the
+// dependency input root-cause attribution needs, recovered from the same
+// passive trace the analysis runs on.
+func CallGraph(msgs []Message) map[string][]string {
+	seen := make(map[string]map[string]bool)
+	for _, m := range msgs {
+		if m.Dir != Call || m.From == "client" {
+			continue
+		}
+		if seen[m.From] == nil {
+			seen[m.From] = make(map[string]bool)
+		}
+		seen[m.From][m.To] = true
+	}
+	out := make(map[string][]string, len(seen))
+	for from, tos := range seen {
+		for to := range tos {
+			out[from] = append(out[from], to)
+		}
+		sort.Strings(out[from])
+	}
+	return out
+}

@@ -1,0 +1,243 @@
+package trace
+
+import (
+	"testing"
+
+	"transientbd/internal/simnet"
+)
+
+const ms = simnet.Millisecond
+
+// buildFig4Trace emulates the paper's Fig 4: a client transaction through
+// Apache → Tomcat → MySQL with two DB calls from Tomcat.
+//
+//  1. client → apache   call   t=0
+//  3. apache → tomcat   call   t=2ms
+//  5. tomcat → mysql    call   t=4ms   (query A)
+//  7. mysql  → tomcat   return t=6ms
+//  9. tomcat → mysql    call   t=8ms   (query B)
+//  11. mysql → tomcat   return t=10ms
+//  13. tomcat→ apache   return t=12ms
+//  15. apache→ client   return t=14ms
+func buildFig4Trace() []Message {
+	return []Message{
+		{At: 0, From: "client", To: "apache", Dir: Call, Class: "page", TxnID: 1, HopID: 1, ParentHop: 0},
+		{At: 2 * ms, From: "apache", To: "tomcat", Dir: Call, Class: "page", TxnID: 1, HopID: 2, ParentHop: 1},
+		{At: 4 * ms, From: "tomcat", To: "mysql", Dir: Call, Class: "qA", TxnID: 1, HopID: 3, ParentHop: 2},
+		{At: 6 * ms, From: "mysql", To: "tomcat", Dir: Return, Class: "qA", TxnID: 1, HopID: 3},
+		{At: 8 * ms, From: "tomcat", To: "mysql", Dir: Call, Class: "qB", TxnID: 1, HopID: 4, ParentHop: 2},
+		{At: 10 * ms, From: "mysql", To: "tomcat", Dir: Return, Class: "qB", TxnID: 1, HopID: 4},
+		{At: 12 * ms, From: "tomcat", To: "apache", Dir: Return, Class: "page", TxnID: 1, HopID: 2},
+		{At: 14 * ms, From: "apache", To: "client", Dir: Return, Class: "page", TxnID: 1, HopID: 1},
+	}
+}
+
+func TestAssembleFig4(t *testing.T) {
+	visits, err := Assemble(buildFig4Trace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(visits) != 4 {
+		t.Fatalf("visits = %d, want 4 (apache, tomcat, 2×mysql)", len(visits))
+	}
+	byServer := PerServer(visits)
+
+	ap := byServer["apache"]
+	if len(ap) != 1 {
+		t.Fatalf("apache visits = %d, want 1", len(ap))
+	}
+	if ap[0].Arrive != 0 || ap[0].Depart != 14*ms {
+		t.Errorf("apache visit span = [%v,%v], want [0,14ms]", ap[0].Arrive, ap[0].Depart)
+	}
+	// Apache waited on Tomcat for [2ms,12ms] = 10ms.
+	if ap[0].Downstream != 10*ms {
+		t.Errorf("apache downstream = %v, want 10ms", ap[0].Downstream)
+	}
+	// Intra-node delay: 14 - 10 = 4ms.
+	if ap[0].IntraNodeDelay() != 4*ms {
+		t.Errorf("apache intra-node = %v, want 4ms", ap[0].IntraNodeDelay())
+	}
+
+	tc := byServer["tomcat"]
+	if len(tc) != 1 {
+		t.Fatalf("tomcat visits = %d, want 1", len(tc))
+	}
+	// Tomcat: resident [2,12] = 10ms, downstream 2+2 = 4ms, intra 6ms.
+	if tc[0].Residence() != 10*ms || tc[0].Downstream != 4*ms || tc[0].IntraNodeDelay() != 6*ms {
+		t.Errorf("tomcat visit = res %v down %v intra %v", tc[0].Residence(), tc[0].Downstream, tc[0].IntraNodeDelay())
+	}
+
+	my := byServer["mysql"]
+	if len(my) != 2 {
+		t.Fatalf("mysql visits = %d, want 2", len(my))
+	}
+	for _, v := range my {
+		if v.Residence() != 2*ms || v.Downstream != 0 {
+			t.Errorf("mysql visit = res %v down %v, want 2ms/0", v.Residence(), v.Downstream)
+		}
+	}
+}
+
+func TestAssembleDropsInFlight(t *testing.T) {
+	msgs := buildFig4Trace()[:3] // capture ends mid-transaction
+	visits, err := Assemble(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(visits) != 0 {
+		t.Errorf("in-flight visits = %d, want 0", len(visits))
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	dup := []Message{
+		{At: 0, From: "a", To: "b", Dir: Call, HopID: 1},
+		{At: 1, From: "a", To: "b", Dir: Call, HopID: 1},
+	}
+	if _, err := Assemble(dup); err == nil {
+		t.Error("want error for duplicate call")
+	}
+	dupRet := []Message{
+		{At: 0, From: "a", To: "b", Dir: Call, HopID: 1},
+		{At: 1, From: "b", To: "a", Dir: Return, HopID: 1},
+		{At: 2, From: "b", To: "a", Dir: Return, HopID: 1},
+	}
+	if _, err := Assemble(dupRet); err == nil {
+		t.Error("want error for duplicate return")
+	}
+	orphan := []Message{
+		{At: 1, From: "b", To: "a", Dir: Return, HopID: 9},
+	}
+	if _, err := Assemble(orphan); err == nil {
+		t.Error("want error for return without call")
+	}
+	backwards := []Message{
+		{At: 5, From: "a", To: "b", Dir: Call, HopID: 1},
+		{At: 1, From: "b", To: "a", Dir: Return, HopID: 1},
+	}
+	if _, err := Assemble(backwards); err == nil {
+		t.Error("want error for return before call")
+	}
+	invalid := []Message{{At: 0, HopID: 1, Dir: Direction(9)}}
+	if _, err := Assemble(invalid); err == nil {
+		t.Error("want error for invalid direction")
+	}
+}
+
+func TestAssembleOutOfOrderInput(t *testing.T) {
+	msgs := buildFig4Trace()
+	// Reverse the capture order; timestamps still define the truth.
+	for i, j := 0, len(msgs)-1; i < j; i, j = i+1, j-1 {
+		msgs[i], msgs[j] = msgs[j], msgs[i]
+	}
+	visits, err := Assemble(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(visits) != 4 {
+		t.Fatalf("visits = %d, want 4", len(visits))
+	}
+	// Sorted by arrival.
+	for i := 1; i < len(visits); i++ {
+		if visits[i].Arrive < visits[i-1].Arrive {
+			t.Error("visits not sorted by arrival")
+		}
+	}
+}
+
+func TestTransactionsGrouping(t *testing.T) {
+	msgs := buildFig4Trace()
+	// Add a second transaction.
+	msgs = append(msgs,
+		Message{At: 20 * ms, From: "client", To: "apache", Dir: Call, Class: "page", TxnID: 2, HopID: 10},
+		Message{At: 25 * ms, From: "apache", To: "client", Dir: Return, Class: "page", TxnID: 2, HopID: 10},
+	)
+	visits, err := Assemble(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txns := Transactions(visits)
+	if len(txns) != 2 {
+		t.Fatalf("transactions = %d, want 2", len(txns))
+	}
+	if len(txns[1]) != 4 || len(txns[2]) != 1 {
+		t.Errorf("txn sizes = %d/%d, want 4/1", len(txns[1]), len(txns[2]))
+	}
+}
+
+func TestFilter(t *testing.T) {
+	visits, err := Assemble(buildFig4Trace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	my := Filter(visits, "mysql")
+	if len(my) != 2 {
+		t.Errorf("Filter(mysql) = %d, want 2", len(my))
+	}
+	if len(Filter(visits, "nosuch")) != 0 {
+		t.Error("Filter(nosuch) should be empty")
+	}
+}
+
+func TestVisitIntraNodeNeverNegative(t *testing.T) {
+	v := Visit{Arrive: 0, Depart: 5 * ms, Downstream: 9 * ms}
+	if v.IntraNodeDelay() != 0 {
+		t.Errorf("IntraNodeDelay = %v, want clamped 0", v.IntraNodeDelay())
+	}
+}
+
+func TestCollectorRecordsAndCopies(t *testing.T) {
+	c := NewCollector()
+	if c.NextHopID() != 1 || c.NextHopID() != 2 {
+		t.Error("NextHopID not sequential")
+	}
+	c.Record(Message{At: 1, HopID: 1, Dir: Call})
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+	got := c.Messages()
+	got[0].At = 99
+	if c.Messages()[0].At != 1 {
+		t.Error("Messages exposed internal state")
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Call.String() != "call" || Return.String() != "return" {
+		t.Error("direction strings wrong")
+	}
+	if Direction(0).String() != "Direction(0)" {
+		t.Error("unknown direction string wrong")
+	}
+}
+
+func TestCallGraph(t *testing.T) {
+	msgs := buildFig4Trace()
+	g := CallGraph(msgs)
+	if len(g["apache"]) != 1 || g["apache"][0] != "tomcat" {
+		t.Errorf("apache calls %v, want [tomcat]", g["apache"])
+	}
+	if len(g["tomcat"]) != 1 || g["tomcat"][0] != "mysql" {
+		t.Errorf("tomcat calls %v, want [mysql]", g["tomcat"])
+	}
+	// Client-originated edges are excluded.
+	if _, ok := g["client"]; ok {
+		t.Error("client must not appear as a caller")
+	}
+	// Leaves have no entry.
+	if _, ok := g["mysql"]; ok {
+		t.Error("mysql calls nothing; should be absent")
+	}
+}
+
+func TestCallGraphDeduplicates(t *testing.T) {
+	msgs := []Message{
+		{At: 1, From: "a", To: "b", Dir: Call, HopID: 1},
+		{At: 2, From: "a", To: "b", Dir: Call, HopID: 2},
+		{At: 3, From: "b", To: "a", Dir: Return, HopID: 1},
+	}
+	g := CallGraph(msgs)
+	if len(g["a"]) != 1 {
+		t.Errorf("a calls %v, want deduplicated [b]", g["a"])
+	}
+}

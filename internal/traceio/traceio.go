@@ -1,0 +1,155 @@
+// Package traceio serializes wire traces and visit records as JSON Lines,
+// the interchange format between the simulator CLI (cmd/ntiersim) and the
+// analyzer CLI (cmd/tbdetect) — and a practical format for feeding real
+// packet-capture-derived records to the detector.
+package traceio
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"transientbd/internal/simnet"
+	"transientbd/internal/trace"
+)
+
+// visitRecord is the JSONL schema for one visit. Times are microseconds
+// from the trace epoch.
+type visitRecord struct {
+	Server    string `json:"server"`
+	Class     string `json:"class,omitempty"`
+	TxnID     int64  `json:"txn,omitempty"`
+	HopID     int64  `json:"hop,omitempty"`
+	ArriveUS  int64  `json:"arrive_us"`
+	DepartUS  int64  `json:"depart_us"`
+	DownstrUS int64  `json:"downstream_us,omitempty"`
+}
+
+// messageRecord is the JSONL schema for one wire message.
+type messageRecord struct {
+	AtUS      int64  `json:"at_us"`
+	From      string `json:"from"`
+	To        string `json:"to"`
+	Dir       string `json:"dir"`
+	Class     string `json:"class,omitempty"`
+	Conn      int64  `json:"conn,omitempty"`
+	TxnID     int64  `json:"txn,omitempty"`
+	HopID     int64  `json:"hop,omitempty"`
+	ParentHop int64  `json:"parent,omitempty"`
+	Bytes     int64  `json:"bytes,omitempty"`
+}
+
+// WriteVisits writes visits as JSONL.
+func WriteVisits(w io.Writer, visits []trace.Visit) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, v := range visits {
+		rec := visitRecord{
+			Server:    v.Server,
+			Class:     v.Class,
+			TxnID:     v.TxnID,
+			HopID:     v.HopID,
+			ArriveUS:  int64(v.Arrive),
+			DepartUS:  int64(v.Depart),
+			DownstrUS: int64(v.Downstream),
+		}
+		if err := enc.Encode(&rec); err != nil {
+			return fmt.Errorf("traceio: write visit %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadVisits reads JSONL visits until EOF.
+func ReadVisits(r io.Reader) ([]trace.Visit, error) {
+	var out []trace.Visit
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for line := 0; ; line++ {
+		var rec visitRecord
+		if err := dec.Decode(&rec); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("traceio: read visit line %d: %w", line, err)
+		}
+		if rec.Server == "" {
+			return nil, fmt.Errorf("traceio: visit line %d has no server", line)
+		}
+		if rec.DepartUS < rec.ArriveUS {
+			return nil, fmt.Errorf("traceio: visit line %d departs before arriving", line)
+		}
+		out = append(out, trace.Visit{
+			Server:     rec.Server,
+			Class:      rec.Class,
+			TxnID:      rec.TxnID,
+			HopID:      rec.HopID,
+			Arrive:     simnet.Time(rec.ArriveUS),
+			Depart:     simnet.Time(rec.DepartUS),
+			Downstream: simnet.Duration(rec.DownstrUS),
+		})
+	}
+	return out, nil
+}
+
+// WriteMessages writes wire messages as JSONL.
+func WriteMessages(w io.Writer, msgs []trace.Message) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, m := range msgs {
+		rec := messageRecord{
+			AtUS:      int64(m.At),
+			From:      m.From,
+			To:        m.To,
+			Dir:       m.Dir.String(),
+			Class:     m.Class,
+			Conn:      m.Conn,
+			TxnID:     m.TxnID,
+			HopID:     m.HopID,
+			ParentHop: m.ParentHop,
+			Bytes:     m.Bytes,
+		}
+		if err := enc.Encode(&rec); err != nil {
+			return fmt.Errorf("traceio: write message %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMessages reads JSONL wire messages until EOF.
+func ReadMessages(r io.Reader) ([]trace.Message, error) {
+	var out []trace.Message
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for line := 0; ; line++ {
+		var rec messageRecord
+		if err := dec.Decode(&rec); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("traceio: read message line %d: %w", line, err)
+		}
+		var dir trace.Direction
+		switch rec.Dir {
+		case "call":
+			dir = trace.Call
+		case "return":
+			dir = trace.Return
+		default:
+			return nil, fmt.Errorf("traceio: message line %d has direction %q", line, rec.Dir)
+		}
+		out = append(out, trace.Message{
+			At:        simnet.Time(rec.AtUS),
+			From:      rec.From,
+			To:        rec.To,
+			Dir:       dir,
+			Class:     rec.Class,
+			Conn:      rec.Conn,
+			TxnID:     rec.TxnID,
+			HopID:     rec.HopID,
+			ParentHop: rec.ParentHop,
+			Bytes:     rec.Bytes,
+		})
+	}
+	return out, nil
+}

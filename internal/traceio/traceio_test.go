@@ -1,0 +1,130 @@
+package traceio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"transientbd/internal/simnet"
+	"transientbd/internal/trace"
+)
+
+func TestVisitsRoundTrip(t *testing.T) {
+	in := []trace.Visit{
+		{Server: "mysql-1", Class: "q1", TxnID: 7, HopID: 3,
+			Arrive: 1000, Depart: 2500, Downstream: 200},
+		{Server: "apache", Class: "page", Arrive: 0, Depart: 10},
+	}
+	var buf bytes.Buffer
+	if err := WriteVisits(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadVisits(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip %d visits, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("visit %d = %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestMessagesRoundTrip(t *testing.T) {
+	in := []trace.Message{
+		{At: 10, From: "client", To: "apache", Dir: trace.Call, Class: "page",
+			Conn: 4, TxnID: 1, HopID: 2, ParentHop: 0, Bytes: 500},
+		{At: 20, From: "apache", To: "client", Dir: trace.Return, Class: "page",
+			Conn: 4, TxnID: 1, HopID: 2, Bytes: 2000},
+	}
+	var buf bytes.Buffer
+	if err := WriteMessages(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadMessages(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("round trip %d messages, want 2", len(out))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("message %d = %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestReadVisitsValidation(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"no server", `{"arrive_us":0,"depart_us":5}`},
+		{"reversed", `{"server":"s","arrive_us":10,"depart_us":5}`},
+		{"garbage", `{not json`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadVisits(strings.NewReader(tc.in)); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestReadMessagesValidation(t *testing.T) {
+	bad := `{"at_us":1,"from":"a","to":"b","dir":"sideways"}`
+	if _, err := ReadMessages(strings.NewReader(bad)); err == nil {
+		t.Error("want error for bad direction")
+	}
+	if _, err := ReadMessages(strings.NewReader("{")); err == nil {
+		t.Error("want error for truncated json")
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	vs, err := ReadVisits(strings.NewReader(""))
+	if err != nil || len(vs) != 0 {
+		t.Errorf("empty visits: %v, %v", vs, err)
+	}
+	ms, err := ReadMessages(strings.NewReader(""))
+	if err != nil || len(ms) != 0 {
+		t.Errorf("empty messages: %v, %v", ms, err)
+	}
+	var buf bytes.Buffer
+	if err := WriteVisits(&buf, nil); err != nil {
+		t.Error(err)
+	}
+	if buf.Len() != 0 {
+		t.Error("writing no visits produced output")
+	}
+}
+
+// Property: any visit with sane timestamps survives a round trip.
+func TestVisitsRoundTripProperty(t *testing.T) {
+	f := func(serverTag uint8, arrive uint32, span uint16, down uint16) bool {
+		v := trace.Visit{
+			Server:     "s" + string(rune('a'+serverTag%26)),
+			Class:      "c",
+			Arrive:     simnet.Time(arrive),
+			Depart:     simnet.Time(arrive) + simnet.Time(span),
+			Downstream: simnet.Duration(down),
+		}
+		var buf bytes.Buffer
+		if err := WriteVisits(&buf, []trace.Visit{v}); err != nil {
+			return false
+		}
+		out, err := ReadVisits(&buf)
+		if err != nil || len(out) != 1 {
+			return false
+		}
+		return out[0] == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,268 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"transientbd/internal/simnet"
+)
+
+// SubmitFunc dispatches one transaction into the system under test. The
+// implementation (the n-tier assembly) must invoke done exactly once when
+// the response reaches the client.
+type SubmitFunc func(ix *Interaction, txnID int64, done func())
+
+// RTSample is one completed transaction's end-to-end response time record.
+type RTSample struct {
+	TxnID  int64
+	Class  string
+	Issued simnet.Time
+	Done   simnet.Time
+}
+
+// RT returns the end-to-end response time.
+func (s RTSample) RT() simnet.Duration { return s.Done - s.Issued }
+
+// BurstConfig configures the global ON/OFF burst modulator. While ON, all
+// users' think times shrink by Factor, producing correlated load surges —
+// the bursty workload component the paper combines with SpeedStep and GC
+// effects. Zero-valued config disables bursts.
+type BurstConfig struct {
+	// Factor divides the think time during a burst ( > 1 ). Zero disables.
+	Factor float64
+	// OnMean and OffMean are the exponential means of burst and quiet
+	// period durations.
+	OnMean  simnet.Duration
+	OffMean simnet.Duration
+}
+
+func (b BurstConfig) enabled() bool {
+	return b.Factor > 1 && b.OnMean > 0 && b.OffMean > 0
+}
+
+// EffectiveMultiplier returns the time-averaged think-rate multiplier the
+// modulation applies: 1 when disabled, otherwise the duty-cycle-weighted
+// mean of 1 (off) and Factor (on). Dividing the nominal think time by it
+// yields the mean-equivalent think time for analytical models.
+func (b BurstConfig) EffectiveMultiplier() float64 {
+	if !b.enabled() {
+		return 1
+	}
+	on := float64(b.OnMean)
+	off := float64(b.OffMean)
+	return (off + on*b.Factor) / (off + on)
+}
+
+// Config configures a Generator.
+type Config struct {
+	// Users is the closed-loop population size (the paper's WL number).
+	Users int
+	// ThinkMean is the mean exponential think time between a response and
+	// the next request. Defaults to 8.4 s, which together with the default
+	// burst modulation (ntier.DefaultBurst) yields an effective mean near
+	// the classic RUBBoS 7 s.
+	ThinkMean simnet.Duration
+	// Burst modulates think times globally.
+	Burst BurstConfig
+	// Submit dispatches transactions. Required.
+	Submit SubmitFunc
+	// Mix is the interaction mix. Defaults to BrowseOnlyMix.
+	Mix []Interaction
+	// Transitions, when non-nil, selects each user's next interaction by
+	// a Markov chain instead of independently by weight: the map gives,
+	// per interaction name, the weighted candidates for the next one
+	// (RUBBoS drives its clients from such a transition table). Users
+	// start from the stationary weights; interactions without an entry
+	// also fall back to them.
+	Transitions map[string][]Transition
+	// RecordFrom drops RT samples issued before this time (ramp-up).
+	RecordFrom simnet.Time
+}
+
+// Transition is one weighted edge of the interaction Markov chain.
+type Transition struct {
+	Next   string
+	Weight float64
+}
+
+// Generator drives a population of closed-loop users against a system.
+type Generator struct {
+	engine *simnet.Engine
+	rng    *simnet.RNG
+	cfg    Config
+
+	weights     []float64
+	transitions map[int][]indexedTransition
+	lastIx      []int // per-user last interaction index; -1 before first
+	burstOn     bool
+	nextTxn     int64
+	inFlight    int
+	issued      int64
+	samples     []RTSample
+}
+
+// NewGenerator creates a generator. Start must be called to begin driving
+// load.
+func NewGenerator(engine *simnet.Engine, rng *simnet.RNG, cfg Config) (*Generator, error) {
+	if engine == nil {
+		return nil, errors.New("workload: nil engine")
+	}
+	if rng == nil {
+		return nil, errors.New("workload: nil rng")
+	}
+	if cfg.Users <= 0 {
+		return nil, fmt.Errorf("workload: users must be positive, got %d", cfg.Users)
+	}
+	if cfg.Submit == nil {
+		return nil, errors.New("workload: nil submit func")
+	}
+	if cfg.ThinkMean <= 0 {
+		cfg.ThinkMean = 8400 * simnet.Millisecond
+	}
+	if len(cfg.Mix) == 0 {
+		cfg.Mix = BrowseOnlyMix()
+	}
+	weights := make([]float64, len(cfg.Mix))
+	byName := make(map[string]int, len(cfg.Mix))
+	for i, ix := range cfg.Mix {
+		weights[i] = ix.Weight
+		byName[ix.Name] = i
+	}
+	// Pre-resolve the transition table to indices.
+	var trans map[int][]indexedTransition
+	if cfg.Transitions != nil {
+		trans = make(map[int][]indexedTransition, len(cfg.Transitions))
+		for from, edges := range cfg.Transitions {
+			fi, ok := byName[from]
+			if !ok {
+				return nil, fmt.Errorf("workload: transition from unknown interaction %q", from)
+			}
+			for _, e := range edges {
+				ti, ok := byName[e.Next]
+				if !ok {
+					return nil, fmt.Errorf("workload: transition to unknown interaction %q", e.Next)
+				}
+				if e.Weight <= 0 {
+					return nil, fmt.Errorf("workload: non-positive transition weight %q→%q", from, e.Next)
+				}
+				trans[fi] = append(trans[fi], indexedTransition{to: ti, weight: e.Weight})
+			}
+		}
+	}
+	return &Generator{
+		engine:      engine,
+		rng:         rng,
+		cfg:         cfg,
+		weights:     weights,
+		transitions: trans,
+		lastIx:      make([]int, cfg.Users),
+	}, nil
+}
+
+type indexedTransition struct {
+	to     int
+	weight float64
+}
+
+// Start launches every user. Users' first requests are staggered uniformly
+// across one think time so the population does not arrive as a step
+// function.
+func (g *Generator) Start() {
+	if g.cfg.Burst.enabled() {
+		g.scheduleBurstFlip()
+	}
+	for u := 0; u < g.cfg.Users; u++ {
+		u := u
+		g.lastIx[u] = -1
+		stagger := simnet.Duration(g.rng.Float64() * float64(g.cfg.ThinkMean))
+		g.engine.Schedule(stagger, func() { g.issue(u) })
+	}
+}
+
+func (g *Generator) scheduleBurstFlip() {
+	var wait simnet.Duration
+	if g.burstOn {
+		wait = g.rng.Exp(g.cfg.Burst.OnMean)
+	} else {
+		wait = g.rng.Exp(g.cfg.Burst.OffMean)
+	}
+	g.engine.Schedule(wait, func() {
+		g.burstOn = !g.burstOn
+		g.scheduleBurstFlip()
+	})
+}
+
+// think returns one think-time draw under the current burst state.
+func (g *Generator) think() simnet.Duration {
+	mean := g.cfg.ThinkMean
+	if g.burstOn && g.cfg.Burst.enabled() {
+		mean = simnet.Duration(float64(mean) / g.cfg.Burst.Factor)
+	}
+	return g.rng.Exp(mean)
+}
+
+// nextInteraction picks a user's next interaction: via the Markov chain
+// when one is configured and the user's last interaction has outgoing
+// edges, otherwise by the stationary weights.
+func (g *Generator) nextInteraction(user int) int {
+	if g.transitions != nil && g.lastIx[user] >= 0 {
+		if edges := g.transitions[g.lastIx[user]]; len(edges) > 0 {
+			weights := make([]float64, len(edges))
+			for i, e := range edges {
+				weights[i] = e.weight
+			}
+			return edges[g.rng.Pick(weights)].to
+		}
+	}
+	return g.rng.Pick(g.weights)
+}
+
+// issue sends one transaction for a user and re-arms the user's loop when
+// the response returns.
+func (g *Generator) issue(user int) {
+	g.nextTxn++
+	txn := g.nextTxn
+	ixIdx := g.nextInteraction(user)
+	g.lastIx[user] = ixIdx
+	ix := &g.cfg.Mix[ixIdx]
+	issued := g.engine.Now()
+	g.inFlight++
+	g.issued++
+	g.cfg.Submit(ix, txn, func() {
+		g.inFlight--
+		if issued >= g.cfg.RecordFrom {
+			g.samples = append(g.samples, RTSample{
+				TxnID:  txn,
+				Class:  ix.Name,
+				Issued: issued,
+				Done:   g.engine.Now(),
+			})
+		}
+		g.engine.Schedule(g.think(), func() { g.issue(user) })
+	})
+}
+
+// Samples returns the recorded response-time samples (a copy).
+func (g *Generator) Samples() []RTSample {
+	out := make([]RTSample, len(g.samples))
+	copy(out, g.samples)
+	return out
+}
+
+// InFlight returns the number of outstanding transactions.
+func (g *Generator) InFlight() int { return g.inFlight }
+
+// Issued returns the total number of transactions issued.
+func (g *Generator) Issued() int64 { return g.issued }
+
+// BurstOn reports whether the modulator is currently in a burst.
+func (g *Generator) BurstOn() bool { return g.burstOn }
+
+// ResponseTimesSeconds extracts RTs in seconds from samples.
+func ResponseTimesSeconds(samples []RTSample) []float64 {
+	out := make([]float64, len(samples))
+	for i, s := range samples {
+		out[i] = s.RT().Seconds()
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+package workload
+
+import (
+	"testing"
+
+	"transientbd/internal/simnet"
+)
+
+func TestBrowseOnlyMixHas24Interactions(t *testing.T) {
+	mix := BrowseOnlyMix()
+	if len(mix) != 24 {
+		t.Fatalf("mix size = %d, want 24 (paper §II-A)", len(mix))
+	}
+	seen := make(map[string]bool)
+	for _, ix := range mix {
+		if ix.Name == "" {
+			t.Error("interaction with empty name")
+		}
+		if seen[ix.Name] {
+			t.Errorf("duplicate interaction %q", ix.Name)
+		}
+		seen[ix.Name] = true
+		if ix.Weight <= 0 {
+			t.Errorf("%s: non-positive weight", ix.Name)
+		}
+		if len(ix.Queries) == 0 {
+			t.Errorf("%s: no queries", ix.Name)
+		}
+		if ix.AllocBytes <= 0 || ix.PageBytes <= 0 {
+			t.Errorf("%s: missing sizes", ix.Name)
+		}
+	}
+}
+
+func TestQueryTemplatesDistinctWithinInteraction(t *testing.T) {
+	for _, ix := range BrowseOnlyMix() {
+		seen := make(map[string]bool)
+		for _, q := range ix.Queries {
+			if seen[q.Template] {
+				t.Errorf("%s: duplicate query template %q", ix.Name, q.Template)
+			}
+			seen[q.Template] = true
+			if q.Work <= 0 {
+				t.Errorf("%s/%s: non-positive work", ix.Name, q.Template)
+			}
+		}
+	}
+}
+
+// Calibration targets from DESIGN.md: the weighted mix must put the app
+// tier at ~80% and the DB tier at ~78% CPU at the paper's WL 8,000
+// (≈1,080 pages/s over 4 cores each).
+func TestBrowseOnlyMixCalibration(t *testing.T) {
+	st := Stats(BrowseOnlyMix())
+	if st.QueriesPerPage < 3.0 || st.QueriesPerPage > 4.5 {
+		t.Errorf("queries/page = %.2f, want 3.0-4.5", st.QueriesPerPage)
+	}
+	dbPerQueryMs := float64(st.DBWorkPerQuery) / float64(simnet.Millisecond)
+	if dbPerQueryMs < 0.6 || dbPerQueryMs > 1.0 {
+		t.Errorf("DB work/query = %.3fms, want 0.6-1.0ms", dbPerQueryMs)
+	}
+	appMs := float64(st.AppWorkPerPage) / float64(simnet.Millisecond)
+	if appMs < 2.6 || appMs > 3.4 {
+		t.Errorf("app work/page = %.3fms, want 2.6-3.4ms", appMs)
+	}
+	dbMs := float64(st.DBWorkPerPage) / float64(simnet.Millisecond)
+	// App tier must be the first to saturate (GC case study needs Tomcat
+	// as the bottleneck tier at WL 14,000).
+	if dbMs >= appMs {
+		t.Errorf("DB work/page %.3fms >= app work/page %.3fms; app tier must saturate first", dbMs, appMs)
+	}
+	webMs := float64(st.WebWorkPerPage) / float64(simnet.Millisecond)
+	if webMs < 0.3 || webMs > 1.0 {
+		t.Errorf("web work/page = %.3fms, want 0.3-1.0ms", webMs)
+	}
+	clMs := float64(st.ClusterWorkPerPage) / float64(simnet.Millisecond)
+	if clMs <= 0 || clMs > 1.2 {
+		t.Errorf("cluster work/page = %.3fms, want (0,1.2]ms", clMs)
+	}
+}
+
+func TestInteractionDerivedWork(t *testing.T) {
+	ix := Interaction{
+		AppPreWork:      1 * simnet.Millisecond,
+		AppPerQueryWork: 2 * simnet.Millisecond,
+		AppPostWork:     3 * simnet.Millisecond,
+		Queries: []Query{
+			{Template: "a", Work: 5 * simnet.Millisecond},
+			{Template: "b", Work: 7 * simnet.Millisecond},
+		},
+	}
+	if got := ix.AppWork(); got != 8*simnet.Millisecond {
+		t.Errorf("AppWork = %v, want 8ms", got)
+	}
+	if got := ix.DBWork(); got != 12*simnet.Millisecond {
+		t.Errorf("DBWork = %v, want 12ms", got)
+	}
+}
+
+func TestStatsEmptyAndZeroWeight(t *testing.T) {
+	if st := Stats(nil); st.QueriesPerPage != 0 {
+		t.Error("empty mix stats should be zero")
+	}
+	mix := []Interaction{{Name: "x", Weight: 0, Queries: []Query{{Work: simnet.Millisecond}}}}
+	if st := Stats(mix); st.QueriesPerPage != 0 {
+		t.Error("zero-weight interactions must not contribute")
+	}
+}
+
+func TestReadWriteMixShape(t *testing.T) {
+	mix := ReadWriteMix()
+	if len(mix) != 30 {
+		t.Fatalf("mix size = %d, want 30 (24 browse + 6 write)", len(mix))
+	}
+	frac := WriteFraction(mix)
+	if frac < 0.05 || frac > 0.15 {
+		t.Errorf("write fraction = %.3f, want ~0.10 (RUBBoS RW mix)", frac)
+	}
+	// Browse-only mix writes nothing.
+	if got := WriteFraction(BrowseOnlyMix()); got != 0 {
+		t.Errorf("browse-only write fraction = %.3f, want 0", got)
+	}
+	// Write interactions flush through their final query.
+	seen := false
+	for _, ix := range mix {
+		for qi, q := range ix.Queries {
+			if q.WriteBytes > 0 {
+				seen = true
+				if qi != len(ix.Queries)-1 {
+					t.Errorf("%s: write on query %d, want final", ix.Name, qi)
+				}
+			}
+		}
+	}
+	if !seen {
+		t.Error("no writing queries in the RW mix")
+	}
+}
+
+func TestWriteFractionEmpty(t *testing.T) {
+	if WriteFraction(nil) != 0 {
+		t.Error("empty mix write fraction should be 0")
+	}
+}
+
+func TestDefaultBrowseTransitionsValid(t *testing.T) {
+	mix := BrowseOnlyMix()
+	names := make(map[string]bool, len(mix))
+	for _, ix := range mix {
+		names[ix.Name] = true
+	}
+	trans := DefaultBrowseTransitions()
+	if len(trans) == 0 {
+		t.Fatal("empty transition table")
+	}
+	for from, edges := range trans {
+		if !names[from] {
+			t.Errorf("transition from unknown %q", from)
+		}
+		if len(edges) == 0 {
+			t.Errorf("%s has no outgoing edges", from)
+		}
+		for _, e := range edges {
+			if !names[e.Next] {
+				t.Errorf("%s → unknown %q", from, e.Next)
+			}
+			if e.Weight <= 0 {
+				t.Errorf("%s → %s has weight %v", from, e.Next, e.Weight)
+			}
+		}
+	}
+}
+
+func TestGeneratorAcceptsDefaultTransitions(t *testing.T) {
+	e := simnet.NewEngine()
+	rng := simnet.NewRNG(1)
+	count := 0
+	g, err := NewGenerator(e, rng, Config{
+		Users:       20,
+		ThinkMean:   50 * simnet.Millisecond,
+		Transitions: DefaultBrowseTransitions(),
+		Submit: func(_ *Interaction, _ int64, done func()) {
+			count++
+			e.Schedule(simnet.Millisecond, done)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	if err := e.Run(5 * simnet.Second); err != nil {
+		t.Fatal(err)
+	}
+	if count < 500 {
+		t.Errorf("transactions = %d, want a steady stream", count)
+	}
+}

@@ -1,0 +1,61 @@
+package transientbd
+
+import (
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestOnlineDetectorEndToEnd(t *testing.T) {
+	recs := busyTrace()
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Depart < recs[j].Depart })
+
+	d := NewOnlineDetector(OnlineConfig{
+		Reestimate: 2 * time.Second,
+		Window:     30 * time.Second,
+	})
+	var congested []OnlineAlert
+	for _, r := range recs {
+		for _, a := range d.Advance(r.Depart - 500*time.Millisecond) {
+			if a.Congested {
+				congested = append(congested, a)
+			}
+		}
+		if err := d.Observe(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, a := range d.Advance(10 * time.Second) {
+		if a.Congested {
+			congested = append(congested, a)
+		}
+	}
+	if len(congested) == 0 {
+		t.Fatal("streaming detector missed the overload phase")
+	}
+	// Congestion alerts cluster around the burst at [2s, 2.5s) and drain.
+	for _, a := range congested {
+		if a.Time < 1900*time.Millisecond || a.Time > 6*time.Second {
+			t.Errorf("congested alert at %v outside the overload window", a.Time)
+		}
+		if a.Server != "db" {
+			t.Errorf("alert from %s, want db", a.Server)
+		}
+	}
+	if _, ok := d.NStar("db"); !ok {
+		t.Error("no N* estimate after the run")
+	}
+	if _, ok := d.NStar("nosuch"); ok {
+		t.Error("N* for unknown server")
+	}
+}
+
+func TestOnlineDetectorValidation(t *testing.T) {
+	d := NewOnlineDetector(OnlineConfig{})
+	if err := d.Observe(Record{}); err == nil {
+		t.Error("want error for record without server")
+	}
+	if got := d.Advance(time.Second); len(got) != 0 {
+		t.Errorf("alerts with no servers = %d", len(got))
+	}
+}

@@ -1,0 +1,150 @@
+package transientbd
+
+import (
+	"fmt"
+	"time"
+
+	"transientbd/internal/jvm"
+	"transientbd/internal/ntier"
+	"transientbd/internal/simnet"
+	"transientbd/internal/workload"
+)
+
+// Collector selects the simulated app-tier JVM garbage collector.
+type Collector int
+
+// Collector choices for Scenario.AppCollector.
+const (
+	// CollectorNone disables the app-tier heap entirely.
+	CollectorNone Collector = iota
+	// CollectorSerial is a synchronous stop-the-world collector ("JDK
+	// 1.5" in the paper's case study).
+	CollectorSerial
+	// CollectorConcurrent is a mostly-concurrent collector with brief
+	// pauses ("JDK 1.6").
+	CollectorConcurrent
+)
+
+// Scenario configures a run of the simulated four-tier RUBBoS-style
+// testbed (1 Apache / 2 Tomcat / 1 C-JDBC / 2 MySQL). The zero value is
+// invalid; Users is required.
+type Scenario struct {
+	// Users is the closed-loop client population (the paper's "WL" axis).
+	Users int
+	// Duration is the measured run length (default 3 minutes, the
+	// paper's experiment length).
+	Duration time.Duration
+	// Ramp is the warm-up excluded from measurement (default 20 s).
+	Ramp time.Duration
+	// Seed makes runs reproducible.
+	Seed int64
+	// AppCollector selects the Tomcat garbage collector (default
+	// CollectorConcurrent).
+	AppCollector Collector
+	// AppHeapMB is the Tomcat heap size in MiB (default 384).
+	AppHeapMB int
+	// DBSpeedStep enables the sluggish SpeedStep frequency governor on
+	// the MySQL hosts; false pins them at full clock.
+	DBSpeedStep bool
+	// Bursty enables correlated client-side load surges (default burst
+	// shape when true).
+	Bursty bool
+	// ThinkTime overrides the mean client think time (default 8.4 s).
+	// Longer think times shift the saturation knee to higher user counts.
+	ThinkTime time.Duration
+}
+
+// ScenarioResult is the harvest of one simulated run.
+type ScenarioResult struct {
+	// Records are the per-server visit records, ready for Analyze.
+	Records []Record
+	// ResponseTimes are end-to-end client response times, in seconds,
+	// for transactions issued in the measured window.
+	ResponseTimes []float64
+	// PagesPerSecond is the measured page throughput.
+	PagesPerSecond float64
+	// Utilization is each server's mean CPU utilization over the window.
+	Utilization map[string]float64
+	// WindowStart and WindowEnd bound the measured window.
+	WindowStart, WindowEnd time.Duration
+	// Servers lists server names, web tier first.
+	Servers []string
+}
+
+// RunScenario builds and runs the simulated testbed and returns its
+// trace in public form. The same engine validates the detection method in
+// the repository's experiment suite.
+func RunScenario(sc Scenario) (*ScenarioResult, error) {
+	cfg := ntier.Config{
+		Users:       sc.Users,
+		Duration:    simnet.FromStdDuration(sc.Duration),
+		Ramp:        simnet.FromStdDuration(sc.Ramp),
+		Seed:        sc.Seed,
+		DBSpeedStep: sc.DBSpeedStep,
+	}
+	switch sc.AppCollector {
+	case CollectorNone:
+	case CollectorSerial:
+		cfg.AppCollector = jvm.CollectorSerial
+	case CollectorConcurrent:
+		cfg.AppCollector = jvm.CollectorConcurrent
+	default:
+		return nil, fmt.Errorf("transientbd: unknown collector %d", int(sc.AppCollector))
+	}
+	if sc.AppHeapMB > 0 {
+		cfg.AppHeapBytes = int64(sc.AppHeapMB) * jvm.MB
+	}
+	if sc.Bursty {
+		cfg.Burst = ntier.DefaultBurst()
+	}
+	if sc.ThinkTime > 0 {
+		cfg.ThinkMean = simnet.FromStdDuration(sc.ThinkTime)
+	}
+	sys, err := ntier.Build(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("transientbd: build scenario: %w", err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		return nil, fmt.Errorf("transientbd: run scenario: %w", err)
+	}
+
+	out := &ScenarioResult{
+		PagesPerSecond: res.PagesPerSecond(),
+		Utilization:    res.Utilization,
+		WindowStart:    simnet.Std(simnet.Duration(res.WindowStart)),
+		WindowEnd:      simnet.Std(simnet.Duration(res.WindowEnd)),
+		ResponseTimes:  workload.ResponseTimesSeconds(res.Samples),
+	}
+	for _, srv := range sys.AllServers() {
+		out.Servers = append(out.Servers, srv.Name())
+	}
+	out.Records = make([]Record, 0, len(res.Visits))
+	for _, v := range res.Visits {
+		out.Records = append(out.Records, Record{
+			Server:         v.Server,
+			Class:          v.Class,
+			Arrive:         simnet.Std(simnet.Duration(v.Arrive)),
+			Depart:         simnet.Std(simnet.Duration(v.Depart)),
+			DownstreamWait: simnet.Std(v.Downstream),
+		})
+	}
+	return out, nil
+}
+
+// AnalyzeScenario is a convenience that runs a scenario and immediately
+// analyzes its trace over the measured window with default options.
+func AnalyzeScenario(sc Scenario) (*ScenarioResult, *Report, error) {
+	res, err := RunScenario(sc)
+	if err != nil {
+		return nil, nil, err
+	}
+	report, err := Analyze(res.Records, Config{
+		WindowStart: res.WindowStart,
+		WindowEnd:   res.WindowEnd,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, report, nil
+}

@@ -1,0 +1,115 @@
+package transientbd
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunScenarioSmoke(t *testing.T) {
+	res, err := RunScenario(Scenario{
+		Users:    300,
+		Duration: 15 * time.Second,
+		Ramp:     5 * time.Second,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) == 0 || len(res.ResponseTimes) == 0 {
+		t.Fatal("empty scenario result")
+	}
+	if res.PagesPerSecond <= 0 {
+		t.Error("no throughput")
+	}
+	if len(res.Servers) != 6 {
+		t.Errorf("servers = %v, want 6", res.Servers)
+	}
+	for _, name := range res.Servers {
+		if _, ok := res.Utilization[name]; !ok {
+			t.Errorf("missing utilization for %s", name)
+		}
+	}
+	if res.WindowStart != 5*time.Second || res.WindowEnd != 20*time.Second {
+		t.Errorf("window = [%v,%v]", res.WindowStart, res.WindowEnd)
+	}
+}
+
+func TestRunScenarioValidation(t *testing.T) {
+	if _, err := RunScenario(Scenario{}); err == nil {
+		t.Error("want error for zero users")
+	}
+	if _, err := RunScenario(Scenario{Users: 10, AppCollector: Collector(99)}); err == nil {
+		t.Error("want error for unknown collector")
+	}
+}
+
+func TestAnalyzeScenarioEndToEnd(t *testing.T) {
+	res, report, err := AnalyzeScenario(Scenario{
+		Users:    300,
+		Duration: 15 * time.Second,
+		Ramp:     5 * time.Second,
+		Seed:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Ranking) == 0 {
+		t.Fatal("empty ranking")
+	}
+	if len(res.Records) == 0 {
+		t.Fatal("no records")
+	}
+	// At 300 users nothing should be meaningfully congested.
+	for _, sa := range report.Ranking {
+		if sa.CongestedFraction > 0.1 {
+			t.Errorf("%s congested %.3f at trivial load", sa.Server, sa.CongestedFraction)
+		}
+	}
+}
+
+func TestScenarioDeterminism(t *testing.T) {
+	run := func() *ScenarioResult {
+		res, err := RunScenario(Scenario{
+			Users:    200,
+			Duration: 10 * time.Second,
+			Ramp:     3 * time.Second,
+			Seed:     7,
+			Bursty:   true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if len(a.Records) != len(b.Records) {
+		t.Fatalf("record counts differ: %d vs %d", len(a.Records), len(b.Records))
+	}
+	if a.PagesPerSecond != b.PagesPerSecond {
+		t.Error("throughput differs across identical runs")
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestScenarioCollectorMapping(t *testing.T) {
+	for _, col := range []Collector{CollectorNone, CollectorSerial, CollectorConcurrent} {
+		res, err := RunScenario(Scenario{
+			Users:        100,
+			Duration:     5 * time.Second,
+			Ramp:         2 * time.Second,
+			Seed:         3,
+			AppCollector: col,
+			AppHeapMB:    64,
+		})
+		if err != nil {
+			t.Fatalf("collector %d: %v", int(col), err)
+		}
+		if len(res.Records) == 0 {
+			t.Fatalf("collector %d: empty result", int(col))
+		}
+	}
+}
