@@ -1,8 +1,12 @@
 package transientbd
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
+	"sort"
+	"sync"
 	"time"
 
 	"transientbd/internal/core"
@@ -50,6 +54,12 @@ type Config struct {
 	// ServiceTimes supplies per-class service times from a separate
 	// low-load calibration; nil estimates them from the records.
 	ServiceTimes map[string]time.Duration
+	// Parallelism bounds the worker goroutines Analyze fans record
+	// conversion, per-server grouping and per-server analyses across.
+	// 0 (the default) uses GOMAXPROCS; 1 forces the serial path. The
+	// report is identical at every setting — see PERFORMANCE.md for the
+	// determinism contract.
+	Parallelism int
 }
 
 // Episode is one contiguous run of congested intervals at a server.
@@ -104,30 +114,26 @@ var ErrNoRecords = errors.New("transientbd: no records")
 // Analyze runs the paper's detection pipeline over a set of records and
 // reports, per server, the congestion point, the congested intervals and
 // freeze episodes, ranked by transient-bottleneck frequency.
+//
+// The pipeline is embarrassingly parallel across servers (§III computes
+// load, normalized throughput and N* independently per tier), and Analyze
+// exploits that: record validation/conversion, per-server grouping and
+// the per-server analyses all fan out across a bounded worker pool sized
+// by Config.Parallelism. Results are collected deterministically — the
+// report is identical whatever the worker count — and the first error
+// cancels outstanding workers via context.
 func Analyze(records []Record, cfg Config) (*Report, error) {
 	if len(records) == 0 {
 		return nil, ErrNoRecords
 	}
-	visits := make([]trace.Visit, 0, len(records))
-	var maxDepart simnet.Time
-	for i, r := range records {
-		if r.Server == "" {
-			return nil, fmt.Errorf("transientbd: record %d has no server", i)
-		}
-		if r.Depart < r.Arrive {
-			return nil, fmt.Errorf("transientbd: record %d departs before it arrives", i)
-		}
-		v := trace.Visit{
-			Server:     r.Server,
-			Class:      r.Class,
-			Arrive:     simnet.FromStdDuration(r.Arrive),
-			Depart:     simnet.FromStdDuration(r.Depart),
-			Downstream: simnet.FromStdDuration(r.DownstreamWait),
-		}
-		if v.Depart > maxDepart {
-			maxDepart = v.Depart
-		}
-		visits = append(visits, v)
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	visits, maxDepart, err := convertRecords(records, workers)
+	if err != nil {
+		return nil, err
 	}
 
 	w := core.Window{
@@ -141,36 +147,190 @@ func Analyze(records []Record, cfg Config) (*Report, error) {
 		Interval:      simnet.FromStdDuration(cfg.Interval),
 		POIFraction:   cfg.POIFraction,
 		RawThroughput: cfg.RawThroughput,
+		Parallelism:   cfg.Parallelism,
 		NStar: core.NStarOptions{
 			Bins:        cfg.Bins,
 			TolFraction: cfg.TolFraction,
 		},
 	}
+	// The calibration table is shared read-only by every worker, so
+	// convert it once rather than per server.
+	var svc core.ServiceTimes
+	if cfg.ServiceTimes != nil {
+		svc = make(core.ServiceTimes, len(cfg.ServiceTimes))
+		for class, d := range cfg.ServiceTimes {
+			svc[class] = simnet.FromStdDuration(d)
+		}
+	}
 
-	perServer := trace.PerServer(visits)
-	report := &Report{PerServer: make(map[string]*ServerAnalysis, len(perServer))}
-	for name, vs := range perServer {
-		var svc core.ServiceTimes
-		if cfg.ServiceTimes != nil {
-			svc = make(core.ServiceTimes, len(cfg.ServiceTimes))
-			for class, d := range cfg.ServiceTimes {
-				svc[class] = simnet.FromStdDuration(d)
+	perServer := trace.PerServerParallel(visits, workers)
+	names := make([]string, 0, len(perServer))
+	for name := range perServer {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	// Fan the per-server analyses out: one result slot per server, so
+	// workers write disjoint indices and need no locks. The first failure
+	// cancels the feed; in-flight analyses finish, queued ones never
+	// start.
+	results := make([]*ServerAnalysis, len(names))
+	errs := make([]error, len(names))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	nw := workers
+	if nw > len(names) {
+		nw = len(names)
+	}
+	feed := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(nw)
+	for i := 0; i < nw; i++ {
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				a, err := core.AnalyzeServer(names[i], perServer[names[i]], svc, w, opts)
+				if err != nil {
+					errs[i] = fmt.Errorf("transientbd: analyze %q: %w", names[i], err)
+					cancel()
+					continue
+				}
+				results[i] = convertAnalysis(a)
 			}
+		}()
+	}
+	for i := range names {
+		if ctx.Err() != nil {
+			break
 		}
-		a, err := core.AnalyzeServer(name, vs, svc, w, opts)
+		feed <- i
+	}
+	close(feed)
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("transientbd: analyze %q: %w", name, err)
+			return nil, err
 		}
-		report.PerServer[name] = convertAnalysis(a)
 	}
-	if len(report.PerServer) == 0 {
-		return nil, ErrNoRecords
-	}
-	for _, sa := range report.PerServer {
-		report.Ranking = append(report.Ranking, sa)
+
+	report := &Report{PerServer: make(map[string]*ServerAnalysis, len(names))}
+	for i, name := range names {
+		report.PerServer[name] = results[i]
+		report.Ranking = append(report.Ranking, results[i])
 	}
 	sortRanking(report.Ranking)
 	return report, nil
+}
+
+// convertParallelMin is the record count below which sharded conversion is
+// not worth the fan-out; convertPollEvery is how often conversion workers
+// poll for cancellation.
+const (
+	convertParallelMin = 1 << 14
+	convertPollEvery   = 4096
+)
+
+func validateRecord(i int, r *Record) error {
+	if r.Server == "" {
+		return fmt.Errorf("transientbd: record %d has no server", i)
+	}
+	if r.Depart < r.Arrive {
+		return fmt.Errorf("transientbd: record %d departs before it arrives", i)
+	}
+	return nil
+}
+
+// convertRecords validates the public Record schema and converts it to
+// trace visits, sharded across up to workers goroutines. Each shard owns
+// a contiguous range of the preallocated output, so no locking is needed;
+// the first invalid record cancels outstanding shards. Error reporting is
+// deterministic regardless of worker count: on failure the records are
+// rescanned serially (validation is two comparisons per record) and the
+// lowest-index offender is reported — exactly what the serial path says.
+func convertRecords(records []Record, workers int) ([]trace.Visit, simnet.Time, error) {
+	visits := make([]trace.Visit, len(records))
+	if workers <= 1 || len(records) < convertParallelMin {
+		var maxDepart simnet.Time
+		for i := range records {
+			if err := validateRecord(i, &records[i]); err != nil {
+				return nil, 0, err
+			}
+			visits[i] = recordToVisit(&records[i])
+			if visits[i].Depart > maxDepart {
+				maxDepart = visits[i].Depart
+			}
+		}
+		return visits, maxDepart, nil
+	}
+
+	nw := workers
+	if nw > len(records) {
+		nw = len(records)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	maxes := make([]simnet.Time, nw)
+	failed := false
+	var failedMu sync.Mutex
+	var wg sync.WaitGroup
+	chunk := (len(records) + nw - 1) / nw
+	for s := 0; s < nw; s++ {
+		lo := s * chunk
+		hi := lo + chunk
+		if hi > len(records) {
+			hi = len(records)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			var max simnet.Time
+			for i := lo; i < hi; i++ {
+				if (i-lo)%convertPollEvery == 0 && ctx.Err() != nil {
+					return
+				}
+				if err := validateRecord(i, &records[i]); err != nil {
+					failedMu.Lock()
+					failed = true
+					failedMu.Unlock()
+					cancel()
+					return
+				}
+				visits[i] = recordToVisit(&records[i])
+				if visits[i].Depart > max {
+					max = visits[i].Depart
+				}
+			}
+			maxes[s] = max
+		}(s, lo, hi)
+	}
+	wg.Wait()
+	if failed {
+		for i := range records {
+			if err := validateRecord(i, &records[i]); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	var maxDepart simnet.Time
+	for _, m := range maxes {
+		if m > maxDepart {
+			maxDepart = m
+		}
+	}
+	return visits, maxDepart, nil
+}
+
+func recordToVisit(r *Record) trace.Visit {
+	return trace.Visit{
+		Server:     r.Server,
+		Class:      r.Class,
+		Arrive:     simnet.FromStdDuration(r.Arrive),
+		Depart:     simnet.FromStdDuration(r.Depart),
+		Downstream: simnet.FromStdDuration(r.DownstreamWait),
+	}
 }
 
 func convertAnalysis(a *core.Analysis) *ServerAnalysis {
@@ -218,16 +378,15 @@ func convertAnalysis(a *core.Analysis) *ServerAnalysis {
 	return sa
 }
 
+// sortRanking orders a ranking worst-first: congested fraction
+// descending, ties broken by server name ascending. Server names are
+// unique within a report, so the order is total and the result
+// deterministic.
 func sortRanking(rs []*ServerAnalysis) {
-	for i := 1; i < len(rs); i++ {
-		for j := i; j > 0; j-- {
-			a, b := rs[j-1], rs[j]
-			if b.CongestedFraction > a.CongestedFraction ||
-				(b.CongestedFraction == a.CongestedFraction && b.Server < a.Server) {
-				rs[j-1], rs[j] = rs[j], rs[j-1]
-			} else {
-				break
-			}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].CongestedFraction != rs[j].CongestedFraction {
+			return rs[i].CongestedFraction > rs[j].CongestedFraction
 		}
-	}
+		return rs[i].Server < rs[j].Server
+	})
 }

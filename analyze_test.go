@@ -2,6 +2,9 @@ package transientbd
 
 import (
 	"errors"
+	"fmt"
+	"reflect"
+	"strings"
 	"testing"
 	"time"
 )
@@ -161,4 +164,132 @@ func TestEpisodeAggregation(t *testing.T) {
 	if total != wantTotal {
 		t.Errorf("episode total = %v, want %v", total, wantTotal)
 	}
+}
+
+// multiServerRecords builds a deterministic bursty trace across several
+// servers and classes, large enough (> 16k records) to engage the sharded
+// conversion and grouping paths of Analyze.
+func multiServerRecords() []Record {
+	const (
+		servers = 6
+		perSrv  = 4000
+	)
+	recs := make([]Record, 0, servers*perSrv)
+	for s := 0; s < servers; s++ {
+		server := fmt.Sprintf("tier-%d", s)
+		var busyUntil time.Duration
+		at := time.Duration(0)
+		for i := 0; i < perSrv; i++ {
+			class, svc := "short", 2*time.Millisecond
+			if i%3 == 0 {
+				class, svc = "long", 8*time.Millisecond
+			}
+			gap := 3 * time.Millisecond
+			// Periodic bursts drive load past the knee so congested
+			// intervals, episodes and POIs all appear in the report.
+			if i%500 < 60 {
+				gap = 500 * time.Microsecond
+			}
+			at += gap
+			start := at
+			if busyUntil > start {
+				start = busyUntil
+			}
+			end := start + svc
+			busyUntil = end
+			recs = append(recs, Record{
+				Server: server, Class: class, Arrive: at, Depart: end,
+			})
+		}
+	}
+	return recs
+}
+
+// TestAnalyzeParallelDeterminism pins the parallelism contract: the
+// report is deep-equal whatever the worker count, on a multi-server
+// bursty scenario exercising every pipeline stage.
+func TestAnalyzeParallelDeterminism(t *testing.T) {
+	recs := multiServerRecords()
+	serial, err := Analyze(recs, Config{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.PerServer) != 6 {
+		t.Fatalf("got %d servers, want 6", len(serial.PerServer))
+	}
+	congested := 0
+	for _, sa := range serial.PerServer {
+		if sa.CongestedFraction > 0 {
+			congested++
+		}
+	}
+	if congested == 0 {
+		t.Fatal("scenario produced no congestion; test is vacuous")
+	}
+	for _, workers := range []int{2, 8} {
+		parallel, err := Analyze(recs, Config{Parallelism: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("Parallelism=%d report differs from serial", workers)
+		}
+	}
+}
+
+// TestAnalyzeParallelError pins error propagation: one malformed record
+// fails the whole analysis at every worker count, with the same
+// deterministic error (the lowest-index offender), and cancellation keeps
+// the parallel path from doing the full run's work.
+func TestAnalyzeParallelError(t *testing.T) {
+	recs := multiServerRecords()
+	// Two malformed records; the lower index must win at any parallelism.
+	recs[17000].Depart = recs[17000].Arrive - time.Millisecond
+	recs[9000].Server = ""
+	serialErr := func() error {
+		_, err := Analyze(recs, Config{Parallelism: 1})
+		return err
+	}()
+	if serialErr == nil {
+		t.Fatal("want error for malformed record")
+	}
+	if !strings.Contains(serialErr.Error(), "record 9000") {
+		t.Errorf("serial error %q does not name the first offender", serialErr)
+	}
+	for _, workers := range []int{2, 8} {
+		_, err := Analyze(recs, Config{Parallelism: workers})
+		if err == nil {
+			t.Fatalf("Parallelism=%d: want error", workers)
+		}
+		if err.Error() != serialErr.Error() {
+			t.Errorf("Parallelism=%d error %q, want %q", workers, err, serialErr)
+		}
+	}
+}
+
+// TestSortRankingTieBreak pins the ranking order contract: congested
+// fraction descending, ties broken by server name ascending.
+func TestSortRankingTieBreak(t *testing.T) {
+	rs := []*ServerAnalysis{
+		{Server: "delta", CongestedFraction: 0.2},
+		{Server: "alpha", CongestedFraction: 0.2},
+		{Server: "bravo", CongestedFraction: 0.9},
+		{Server: "echo", CongestedFraction: 0},
+		{Server: "charlie", CongestedFraction: 0.2},
+	}
+	sortRanking(rs)
+	want := []string{"bravo", "alpha", "charlie", "delta", "echo"}
+	for i, name := range want {
+		if rs[i].Server != name {
+			t.Fatalf("rank %d = %s, want %s (full order %v)", i, rs[i].Server, name, rankingNames(rs))
+		}
+	}
+}
+
+func rankingNames(rs []*ServerAnalysis) []string {
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.Server
+	}
+	return out
 }

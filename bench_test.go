@@ -16,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"transientbd/internal/cli"
 	"transientbd/internal/core"
 	"transientbd/internal/experiments"
 	"transientbd/internal/mva"
@@ -156,6 +157,26 @@ func BenchmarkAnalyzeInterval(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := Analyze(recs, Config{Interval: iv}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAnalyzeParallel measures the per-server fan-out of the
+// detection pipeline over a multi-server bursty trace at 1/2/4/8 workers.
+// The same workload backs `experiments bench`, which writes the numbers
+// to BENCH_analyze.json (see PERFORMANCE.md); wall-clock speedup tracks
+// min(servers, GOMAXPROCS, workers).
+func BenchmarkAnalyzeParallel(b *testing.B) {
+	perServer, w := cli.BenchVisits(100000, 8, 3, 1)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(itoa(workers)+"workers", func(b *testing.B) {
+			opts := core.Options{Interval: 50 * simnet.Millisecond, Parallelism: workers}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.AnalyzeSystemGrouped(perServer, w, opts); err != nil {
 					b.Fatal(err)
 				}
 			}

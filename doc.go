@@ -33,6 +33,21 @@
 //	        s.Server, 100*s.CongestedFraction, s.NStar)
 //	}
 //
+// # Performance and concurrency
+//
+// The method is embarrassingly parallel across servers: load,
+// normalized throughput and N* are computed independently per tier.
+// Analyze exploits that — record validation/conversion, per-server
+// grouping and the per-server analyses all fan out across a bounded
+// worker pool sized by Config.Parallelism (0 = GOMAXPROCS, 1 = serial).
+// The report is deterministic: identical at every worker count.
+// Analyze, AnalyzeSystem-style batch entry points and the returned
+// Report/ServerAnalysis values are safe for concurrent use; the
+// streaming OnlineDetector is single-writer. PERFORMANCE.md documents
+// the pipeline's cost model, the benchmark harness
+// (`go run ./cmd/experiments bench`) and the BENCH_analyze.json
+// baseline it maintains.
+//
 // # Simulation testbed
 //
 // The package also ships the full simulated RUBBoS-style testbed used to

@@ -1,0 +1,184 @@
+package cli
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"transientbd/internal/core"
+	"transientbd/internal/simnet"
+	"transientbd/internal/trace"
+)
+
+// benchResult is one row of BENCH_analyze.json: the measured cost of the
+// full detection pipeline at one worker count.
+type benchResult struct {
+	Workers         int     `json:"workers"`
+	NsPerOp         int64   `json:"ns_per_op"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+	BytesPerOp      int64   `json:"bytes_per_op"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+}
+
+// benchReport is the BENCH_analyze.json schema — the repo's perf
+// trajectory point for the analysis pipeline. PERFORMANCE.md documents
+// how to read it.
+type benchReport struct {
+	Benchmark  string        `json:"benchmark"`
+	Records    int           `json:"records"`
+	Servers    int           `json:"servers"`
+	Classes    int           `json:"classes"`
+	IntervalMS int64         `json:"interval_ms"`
+	Seed       int64         `json:"seed"`
+	NumCPU     int           `json:"num_cpu"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	GoVersion  string        `json:"go_version"`
+	Results    []benchResult `json:"results"`
+}
+
+// ExperimentsBench measures the parallel analysis pipeline over a
+// synthetic multi-server bursty trace at each requested worker count and
+// writes the results as BENCH_analyze.json. The trace is deterministic
+// (seeded), so runs are comparable across commits on the same hardware.
+func ExperimentsBench(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("experiments bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		records  = fs.Int("records", 200000, "synthetic visit count")
+		servers  = fs.Int("servers", 8, "server count (parallelism is per-server)")
+		classes  = fs.Int("classes", 3, "request-class count (drives normalization)")
+		seed     = fs.Int64("seed", 1, "trace generator seed")
+		workers  = fs.String("workers", "1,2,4,8", "comma-separated worker counts to measure")
+		out      = fs.String("out", "BENCH_analyze.json", "output path (- for stdout)")
+		interval = fs.Duration("interval", 50*time.Millisecond, "monitoring interval")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var counts []int
+	for _, part := range strings.Split(*workers, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return fmt.Errorf("experiments bench: bad -workers entry %q", part)
+		}
+		counts = append(counts, n)
+	}
+	if len(counts) == 0 {
+		return fmt.Errorf("experiments bench: -workers is empty")
+	}
+	if *records < *servers {
+		return fmt.Errorf("experiments bench: need at least one record per server")
+	}
+
+	perServer, w := BenchVisits(*records, *servers, *classes, *seed)
+	iv := simnet.FromStdDuration(*interval)
+
+	report := benchReport{
+		Benchmark:  "core.AnalyzeSystemGrouped",
+		Records:    *records,
+		Servers:    *servers,
+		Classes:    *classes,
+		IntervalMS: int64(*interval / time.Millisecond),
+		Seed:       *seed,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+	var serialNs int64
+	for _, nw := range counts {
+		opts := core.Options{Interval: iv, Parallelism: nw}
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.AnalyzeSystemGrouped(perServer, w, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		row := benchResult{
+			Workers:     nw,
+			NsPerOp:     res.NsPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		}
+		if nw == 1 {
+			serialNs = row.NsPerOp
+		}
+		if serialNs > 0 {
+			row.SpeedupVsSerial = float64(serialNs) / float64(row.NsPerOp)
+		}
+		report.Results = append(report.Results, row)
+		fmt.Fprintf(stderr, "bench: workers=%d  %d ns/op  %d allocs/op  speedup %.2fx\n",
+			nw, row.NsPerOp, row.AllocsPerOp, row.SpeedupVsSerial)
+	}
+
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return fmt.Errorf("experiments bench: %w", err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		_, err = stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return fmt.Errorf("experiments bench: %w", err)
+	}
+	fmt.Fprintf(stderr, "bench: wrote %s\n", *out)
+	return nil
+}
+
+// BenchVisits generates the deterministic multi-server bursty trace the
+// analysis benchmarks run on: n visits spread over s servers, with a
+// class mix of c classes whose service times differ (exercising work-unit
+// normalization) and periodic arrival bursts that push load past the
+// knee (exercising N* estimation and interval classification). Shared
+// with bench_test.go so `go test -bench` and `experiments bench` measure
+// the same workload.
+func BenchVisits(n, s, c int, seed int64) (map[string][]trace.Visit, core.Window) {
+	rng := simnet.NewRNG(seed)
+	perServer := make(map[string][]trace.Visit, s)
+	perN := n / s
+	var end simnet.Time
+	for si := 0; si < s; si++ {
+		name := fmt.Sprintf("server-%02d", si)
+		visits := make([]trace.Visit, 0, perN)
+		var at simnet.Time
+		var busyUntil simnet.Time
+		for i := 0; i < perN; i++ {
+			class := i % c
+			svc := simnet.Duration(2+3*class) * simnet.Millisecond
+			gap := rng.Exp(6 * simnet.Millisecond)
+			// Every ~2000 visits, a 200-visit burst arrives at 4x rate,
+			// building a transient backlog that drains afterwards.
+			if i%2000 < 200 {
+				gap /= 4
+			}
+			at += simnet.Time(gap)
+			start := at
+			if busyUntil > start {
+				start = busyUntil
+			}
+			depart := start + simnet.Time(svc)
+			busyUntil = depart
+			visits = append(visits, trace.Visit{
+				Server: name,
+				Class:  fmt.Sprintf("class-%d", class),
+				Arrive: at,
+				Depart: depart,
+			})
+			if depart >= end {
+				end = depart + 1
+			}
+		}
+		perServer[name] = visits
+	}
+	return perServer, core.Window{Start: 0, End: end}
+}

@@ -2,6 +2,10 @@ package cli
 
 import (
 	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -332,5 +336,132 @@ func TestTBDetectRootCause(t *testing.T) {
 	// Without -wire the flag must refuse (no call graph available).
 	if err := TBDetect([]string{"-in", filepath.Join(dir, "v.jsonl"), "-rootcause"}, &detOut, &detErr); err == nil {
 		t.Error("want error for -rootcause without -wire")
+	}
+}
+
+func TestTBDetectParallelFlagDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "visits.jsonl")
+	var simOut, simErr bytes.Buffer
+	if err := NtierSim([]string{
+		"-users", "2000", "-duration", "10s", "-ramp", "3s", "-out", out,
+	}, &simOut, &simErr); err != nil {
+		t.Fatal(err)
+	}
+	var serial, serialErr bytes.Buffer
+	if err := TBDetect([]string{"-in", out, "-parallel", "1"}, &serial, &serialErr); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []string{"4", "8"} {
+		var par, parErr bytes.Buffer
+		if err := TBDetect([]string{"-in", out, "-parallel", workers}, &par, &parErr); err != nil {
+			t.Fatal(err)
+		}
+		if par.String() != serial.String() {
+			t.Errorf("-parallel %s report differs from serial:\n%s\nvs\n%s",
+				workers, par.String(), serial.String())
+		}
+	}
+}
+
+func TestExperimentsBench(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_analyze.json")
+	var stdout, stderr bytes.Buffer
+	err := Experiments([]string{
+		"bench", "-records", "20000", "-servers", "4",
+		"-workers", "1,2", "-out", out,
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Benchmark string `json:"benchmark"`
+		Servers   int    `json:"servers"`
+		Results   []struct {
+			Workers         int     `json:"workers"`
+			NsPerOp         int64   `json:"ns_per_op"`
+			AllocsPerOp     int64   `json:"allocs_per_op"`
+			SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("BENCH_analyze.json does not parse: %v", err)
+	}
+	if report.Benchmark == "" || report.Servers != 4 {
+		t.Errorf("bad report header: %+v", report)
+	}
+	if len(report.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(report.Results))
+	}
+	for _, r := range report.Results {
+		if r.NsPerOp <= 0 || r.SpeedupVsSerial <= 0 {
+			t.Errorf("workers=%d: non-positive measurements: %+v", r.Workers, r)
+		}
+	}
+	if report.Results[0].Workers != 1 || report.Results[0].SpeedupVsSerial != 1 {
+		t.Errorf("serial row must lead with speedup 1: %+v", report.Results[0])
+	}
+	// Bad worker lists error cleanly.
+	if err := Experiments([]string{"bench", "-workers", "zero"}, &stdout, &stderr); err == nil {
+		t.Error("want error for malformed -workers")
+	}
+}
+
+// usageFlags extracts the registered flag names from a FlagSet usage dump
+// (the tool's -h output).
+func usageFlags(t *testing.T, run func(args []string, stdout, stderr io.Writer) error, args ...string) []string {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	err := run(append(args, "-h"), &stdout, &stderr)
+	if err != nil && !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h: %v", err)
+	}
+	var flags []string
+	for _, line := range strings.Split(stderr.String()+stdout.String(), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if !strings.HasPrefix(trimmed, "-") {
+			continue
+		}
+		name := strings.Fields(trimmed)[0]
+		if name == "-h" {
+			continue
+		}
+		flags = append(flags, name)
+	}
+	if len(flags) == 0 {
+		t.Fatal("no flags parsed from -h output")
+	}
+	return flags
+}
+
+// TestCLIDocsCoverAllFlags pins docs/cli.md to the binaries: every flag a
+// tool actually registers must appear in the hand-written reference, so
+// the docs cannot silently drift.
+func TestCLIDocsCoverAllFlags(t *testing.T) {
+	docs, err := os.ReadFile(filepath.Join("..", "..", "docs", "cli.md"))
+	if err != nil {
+		t.Fatalf("docs/cli.md missing: %v", err)
+	}
+	ref := string(docs)
+	for _, tool := range []struct {
+		name string
+		run  func(args []string, stdout, stderr io.Writer) error
+		args []string
+	}{
+		{"ntiersim", NtierSim, nil},
+		{"tbdetect", TBDetect, nil},
+		{"experiments run", Experiments, []string{"run"}},
+		{"experiments bench", Experiments, []string{"bench"}},
+	} {
+		for _, f := range usageFlags(t, tool.run, tool.args...) {
+			if !strings.Contains(ref, "`"+f+"`") {
+				t.Errorf("%s flag %s is not documented in docs/cli.md", tool.name, f)
+			}
+		}
 	}
 }

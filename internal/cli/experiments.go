@@ -10,13 +10,15 @@ import (
 	"transientbd/internal/simnet"
 )
 
-// Experiments lists or runs the paper-artifact regenerators.
+// Experiments lists or runs the paper-artifact regenerators, and hosts
+// the analysis-pipeline benchmark harness.
 //
 //	experiments list
 //	experiments run <id>|all [-quick] [-seed N] [-duration D]
+//	experiments bench [-records N] [-servers S] [-workers 1,2,4,8] [-out BENCH_analyze.json]
 func Experiments(args []string, stdout, stderr io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("experiments: usage: list | run <id>|all [flags]")
+		return fmt.Errorf("experiments: usage: list | run <id>|all [flags] | bench [flags]")
 	}
 	switch args[0] {
 	case "list":
@@ -26,8 +28,10 @@ func Experiments(args []string, stdout, stderr io.Writer) error {
 		return nil
 	case "run":
 		return runExperiments(args[1:], stdout, stderr)
+	case "bench":
+		return ExperimentsBench(args[1:], stdout, stderr)
 	default:
-		return fmt.Errorf("experiments: unknown subcommand %q (list|run)", args[0])
+		return fmt.Errorf("experiments: unknown subcommand %q (list|run|bench)", args[0])
 	}
 }
 

@@ -31,6 +31,7 @@ func TBDetect(args []string, stdout, stderr io.Writer) error {
 		classes  = fs.String("classes", "", "also print the per-class breakdown for this server")
 		auto     = fs.Bool("auto", false, "choose the monitoring interval automatically (overrides -interval)")
 		rootCA   = fs.Bool("rootcause", false, "with -wire: attribute congestion to its origin using the call graph")
+		parallel = fs.Int("parallel", 0, "worker goroutines for the analysis (0 = GOMAXPROCS, 1 = serial; results are identical)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -45,33 +46,57 @@ func TBDetect(args []string, stdout, stderr io.Writer) error {
 		defer f.Close()
 		r = f
 	}
-	var visits []trace.Visit
+	// Ingest straight into the per-server grouping the analysis needs.
+	// The visit path streams in bounded batches, so the only full-trace
+	// state is the grouped map itself; the wire path has to materialize
+	// the capture because call/return pairing is a whole-trace operation.
+	var perServer map[string][]trace.Visit
+	var total int
+	var maxDepart simnet.Time
 	var callGraph map[string][]string
-	var err error
 	if *wire {
 		msgs, rerr := traceio.ReadMessages(r)
 		if rerr != nil {
 			return rerr
 		}
 		callGraph = trace.CallGraph(msgs)
+		var visits []trace.Visit
 		if *blackbox {
 			rec := trace.Reconstruct(msgs)
 			fmt.Fprintf(stderr, "tbdetect: black-box reconstruction: %d pairs, accuracy %.2f%%, %d unmatched calls\n",
 				rec.PairedHops, 100*rec.Accuracy(), rec.UnmatchedCalls)
 			visits = rec.Visits
 		} else {
+			var err error
 			visits, err = trace.Assemble(msgs)
 			if err != nil {
 				return err
 			}
 		}
+		total = len(visits)
+		for _, v := range visits {
+			if v.Depart > maxDepart {
+				maxDepart = v.Depart
+			}
+		}
+		perServer = trace.PerServerParallel(visits, *parallel)
 	} else {
-		visits, err = traceio.ReadVisits(r)
+		perServer = make(map[string][]trace.Visit)
+		err := traceio.StreamVisits(r, traceio.DefaultBatch, func(batch []trace.Visit) error {
+			for _, v := range batch {
+				perServer[v.Server] = append(perServer[v.Server], v)
+				if v.Depart > maxDepart {
+					maxDepart = v.Depart
+				}
+			}
+			total += len(batch)
+			return nil
+		})
 		if err != nil {
 			return err
 		}
 	}
-	if len(visits) == 0 {
+	if total == 0 {
 		return fmt.Errorf("tbdetect: trace is empty")
 	}
 
@@ -79,28 +104,21 @@ func TBDetect(args []string, stdout, stderr io.Writer) error {
 		Start: simnet.FromStdDuration(*from),
 		End:   simnet.FromStdDuration(*to),
 	}
-	if w.End <= w.Start {
-		for _, v := range visits {
-			if v.Depart >= w.End {
-				w.End = v.Depart + 1
-			}
-		}
+	if w.End <= w.Start && maxDepart >= w.End {
+		w.End = maxDepart + 1
 	}
 	chosen := simnet.FromStdDuration(*interval)
 	if *auto {
 		// Score candidates on the busiest server and apply the winner
 		// everywhere.
-		counts := make(map[string]int)
-		for _, v := range visits {
-			counts[v.Server]++
-		}
 		busiest := ""
-		for name, n := range counts {
-			if busiest == "" || n > counts[busiest] {
+		for name, vs := range perServer {
+			if busiest == "" || len(vs) > len(perServer[busiest]) ||
+				(len(vs) == len(perServer[busiest]) && name < busiest) {
 				busiest = name
 			}
 		}
-		best, table, err := core.ChooseInterval(trace.Filter(visits, busiest), w, nil)
+		best, table, err := core.ChooseInterval(perServer[busiest], w, nil)
 		if err != nil {
 			return fmt.Errorf("tbdetect: auto interval: %w", err)
 		}
@@ -113,9 +131,10 @@ func TBDetect(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
-	analysis, err := core.AnalyzeSystem(visits, w, core.Options{
+	analysis, err := core.AnalyzeSystemGrouped(perServer, w, core.Options{
 		Interval:      chosen,
 		RawThroughput: *raw,
+		Parallelism:   *parallel,
 	})
 	if err != nil {
 		return err
@@ -161,7 +180,7 @@ func TBDetect(args []string, stdout, stderr io.Writer) error {
 		if !ok {
 			return fmt.Errorf("tbdetect: no analysis for server %q", *classes)
 		}
-		breakdown := core.ClassBreakdown(trace.Filter(visits, *classes), a)
+		breakdown := core.ClassBreakdown(perServer[*classes], a)
 		fmt.Fprintf(stdout, "\nper-class breakdown for %s (worst first):\n", *classes)
 		fmt.Fprintf(stdout, "%-28s  %8s  %10s  %12s  %9s\n",
 			"CLASS", "COUNT", "CONGESTED", "MEAN RESID", "SLOWDOWN")

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -58,6 +59,11 @@ type Options struct {
 	// Normalize disables throughput normalization when false-by-flag via
 	// RawThroughput (ablation: the Fig 7 problem).
 	RawThroughput bool
+	// Parallelism bounds the worker goroutines AnalyzeSystem and
+	// AnalyzeSystemGrouped fan per-server analyses across. 0 (the
+	// default) uses GOMAXPROCS; 1 forces the serial path. Results are
+	// identical at every setting.
+	Parallelism int
 }
 
 func (o *Options) applyDefaults() {
@@ -243,19 +249,51 @@ type SystemAnalysis struct {
 
 // AnalyzeSystem groups visits by server and analyzes each, ranking servers
 // by transient-bottleneck frequency. Servers whose analysis fails for lack
-// of data are skipped.
+// of data are skipped. Both the grouping and the per-server analyses run
+// on up to Options.Parallelism workers; the result is identical at every
+// setting.
 func AnalyzeSystem(visits []trace.Visit, w Window, opts Options) (*SystemAnalysis, error) {
 	if len(visits) == 0 {
 		return nil, ErrNoVisits
 	}
-	perServer := trace.PerServer(visits)
-	out := &SystemAnalysis{PerServer: make(map[string]*Analysis, len(perServer))}
-	for name, vs := range perServer {
-		a, err := AnalyzeServer(name, vs, nil, w, opts)
+	perServer := trace.PerServerParallel(visits, resolveWorkers(opts.Parallelism, len(visits)))
+	return AnalyzeSystemGrouped(perServer, w, opts)
+}
+
+// AnalyzeSystemGrouped is AnalyzeSystem for visits already grouped by
+// server — the entry point for streaming ingestion (internal/traceio),
+// which builds the per-server map incrementally without materializing a
+// flat visit slice first. Per-server analyses fan out across up to
+// Options.Parallelism workers (0 = GOMAXPROCS); each server's analysis
+// reads only that server's visits, so no locking is needed and the report
+// is bit-identical to a serial pass.
+func AnalyzeSystemGrouped(perServer map[string][]trace.Visit, w Window, opts Options) (*SystemAnalysis, error) {
+	if len(perServer) == 0 {
+		return nil, ErrNoVisits
+	}
+	names := make([]string, 0, len(perServer))
+	for name := range perServer {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	// One result slot per server: workers write disjoint indices, so the
+	// only synchronization needed is forEach's completion barrier.
+	analyses := make([]*Analysis, len(names))
+	workers := resolveWorkers(opts.Parallelism, len(names))
+	forEach(context.Background(), workers, len(names), func(i int) {
+		a, err := AnalyzeServer(names[i], perServer[names[i]], nil, w, opts)
 		if err != nil {
-			continue
+			return // skipped: ranking covers servers with enough data
 		}
-		out.PerServer[name] = a
+		analyses[i] = a
+	})
+
+	out := &SystemAnalysis{PerServer: make(map[string]*Analysis, len(names))}
+	for i, a := range analyses {
+		if a != nil {
+			out.PerServer[names[i]] = a
+		}
 	}
 	if len(out.PerServer) == 0 {
 		return nil, fmt.Errorf("core: no server produced an analysis")

@@ -17,6 +17,26 @@
 //     bottleneck. Congested intervals with near-zero throughput are POIs
 //     (points of interest, Fig 9b) — server freezes such as stop-the-world
 //     garbage collection.
+//
+// # Concurrency
+//
+// The method is embarrassingly parallel across servers: every stage above
+// reads only one server's visits. The package exploits that as follows.
+//
+//   - AnalyzeServer, LoadSeries, ThroughputSeries,
+//     NormalizedThroughputSeries, EstimateServiceTimes, EstimateNStar and
+//     the other free functions are pure: they never mutate their inputs
+//     and share no state, so any number may run concurrently — including
+//     over the same visit slice.
+//   - AnalyzeSystem and AnalyzeSystemGrouped fan AnalyzeServer out across
+//     a bounded worker pool (Options.Parallelism; 0 means GOMAXPROCS) and
+//     are themselves safe to call concurrently. Results are independent
+//     of the worker count.
+//   - Analysis, SystemAnalysis, NStarResult and ServiceTimes values are
+//     safe for concurrent reads once returned; they have no internal
+//     locking, so treat them as immutable.
+//   - Online (the streaming analyzer) is single-writer: Observe and
+//     Advance must be externally serialized, one Online per server.
 package core
 
 import (
@@ -54,7 +74,7 @@ func LoadSeries(visits []trace.Visit, w Window, interval simnet.Duration) (*metr
 	if err := w.validate(); err != nil {
 		return nil, err
 	}
-	acc := metrics.NewStepAccumulator(0)
+	acc := metrics.NewStepAccumulatorCap(0, 2*len(visits))
 	for _, v := range visits {
 		acc.Change(v.Arrive, 1)
 		acc.Change(v.Depart, -1)

@@ -14,6 +14,12 @@ import (
 // The congestion point N* is re-estimated periodically from the sliding
 // window, so the detector adapts to drifting service times — the
 // recomputation the paper calls for in §III-B.
+//
+// Online is single-writer: Observe, Advance and NStar share the ring and
+// reservoir state with no internal locking, so all calls must come from
+// one goroutine (or be externally serialized). Independent Online values
+// — one per server — may of course run on different goroutines; that is
+// the sharding axis the batch pipeline parallelizes over too.
 type Online struct {
 	opts     Options
 	window   int // ring size, in intervals

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// resolveWorkers turns a Parallelism setting into a concrete worker count
+// for n independent work items: 0 or negative means GOMAXPROCS, and the
+// count never exceeds n (spawning more goroutines than items buys
+// nothing).
+func resolveWorkers(parallelism, n int) int {
+	w := parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// forEach runs fn(i) for every i in [0, n) across at most workers
+// goroutines and blocks until all scheduled calls return. When ctx is
+// canceled, workers stop picking up new indices (calls already in flight
+// run to completion). workers <= 1 runs inline with no goroutines, so the
+// serial path stays allocation- and scheduler-free.
+//
+// fn must be safe for concurrent invocation on distinct indices; forEach
+// itself adds no synchronization around fn's side effects beyond the
+// happens-before edge of its own return, which is what lets callers write
+// results into disjoint slots of a shared slice without locks.
+func forEach(ctx context.Context, workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if ctx != nil && ctx.Err() != nil {
+				return
+			}
+			fn(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if ctx != nil && ctx.Err() != nil {
+			break
+		}
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -111,7 +111,7 @@ func ThroughputSeries(visits []trace.Visit, w Window, interval simnet.Duration) 
 	for _, v := range visits {
 		s.AddAt(v.Depart, 1)
 	}
-	return s.PerSecond(), nil
+	return s.ToPerSecond(), nil
 }
 
 // NormalizedThroughputSeries computes the paper's normalized throughput:
@@ -132,7 +132,7 @@ func NormalizedThroughputSeries(visits []trace.Visit, svc ServiceTimes, unit sim
 	for _, v := range visits {
 		s.AddAt(v.Depart, svc.Units(v.Class, unit))
 	}
-	return s.PerSecond(), nil
+	return s.ToPerSecond(), nil
 }
 
 // Classes lists the classes present in a service-time table, sorted.

@@ -3,6 +3,14 @@
 // monitoring windows), a step-function accumulator for time-weighted
 // averages (the load definition of §III-A), and per-interval counters
 // (the throughput definition of §III-B).
+//
+// # Concurrency
+//
+// IntervalSeries and StepAccumulator are plain mutable containers with no
+// internal locking: each value is safe for concurrent reads once fully
+// built, but must have a single writer while under construction. The
+// parallel analysis pipeline (internal/core) respects this by giving every
+// worker its own series and accumulators.
 package metrics
 
 import (
@@ -146,6 +154,18 @@ func (s *IntervalSeries) PerSecond() *IntervalSeries {
 		out.values[i] = v / secs
 	}
 	return out
+}
+
+// ToPerSecond converts the series in place from per-interval counts into
+// rates, dividing each value by the interval width in seconds. It is the
+// allocation-free counterpart of PerSecond for callers that own the
+// series.
+func (s *IntervalSeries) ToPerSecond() *IntervalSeries {
+	secs := float64(s.width) / float64(simnet.Second)
+	for i := range s.values {
+		s.values[i] /= secs
+	}
+	return s
 }
 
 // Resample aggregates groups of k adjacent intervals into one using the

@@ -269,3 +269,38 @@ func TestResampleMeanProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestToPerSecondMatchesPerSecond(t *testing.T) {
+	s, err := NewIntervalSeries(0, 50*simnet.Millisecond, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.Set(i, float64(i*3+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := s.PerSecond().Values()
+	got := s.ToPerSecond().Values()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("interval %d: in-place %v, copy %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNewStepAccumulatorCap(t *testing.T) {
+	acc := NewStepAccumulatorCap(0, 8)
+	acc.Change(10, 1)
+	acc.Change(20, -1)
+	if acc.NumChanges() != 2 {
+		t.Fatalf("changes = %d, want 2", acc.NumChanges())
+	}
+	if got := acc.LevelAt(15); got != 1 {
+		t.Fatalf("level = %v, want 1", got)
+	}
+	// Negative capacity hints are clamped, not a panic.
+	if NewStepAccumulatorCap(0, -5).NumChanges() != 0 {
+		t.Fatal("negative-cap accumulator not empty")
+	}
+}

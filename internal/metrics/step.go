@@ -27,6 +27,16 @@ func NewStepAccumulator(initial float64) *StepAccumulator {
 	return &StepAccumulator{initial: initial}
 }
 
+// NewStepAccumulatorCap is NewStepAccumulator with a capacity hint: space
+// for n changes is reserved up front, so hot paths that know their change
+// count (two per visit for a load series) append without regrowing.
+func NewStepAccumulatorCap(initial float64, n int) *StepAccumulator {
+	if n < 0 {
+		n = 0
+	}
+	return &StepAccumulator{initial: initial, changes: make([]stepChange, 0, n)}
+}
+
 // Change records a delta to the level at time t (e.g. +1 on request
 // arrival, -1 on departure).
 func (a *StepAccumulator) Change(t simnet.Time, delta float64) {

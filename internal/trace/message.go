@@ -14,6 +14,18 @@
 //     returns by FIFO matching per server pair. Its accuracy against the
 //     ground truth reproduces the paper's ">99% reconstruction accuracy"
 //     claim (§II-C) and is measured by experiments.Fig4.
+//
+// # Concurrency
+//
+// Message and Visit are immutable value types: once captured they are
+// safe to read from any number of goroutines. Collector is single-writer
+// — it is meant to be fed from the (single-threaded) simulation loop and
+// has no internal locking; wrap it if multiple producers must share one.
+// The free functions (Assemble, Reconstruct, PerServer, Filter,
+// Transactions, CallGraph) are pure: they do not mutate their inputs and
+// may run concurrently, even over the same slice. PerServerParallel
+// additionally shards its own work internally while keeping the result
+// identical to PerServer.
 package trace
 
 import (

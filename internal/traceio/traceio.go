@@ -2,6 +2,21 @@
 // the interchange format between the simulator CLI (cmd/ntiersim) and the
 // analyzer CLI (cmd/tbdetect) — and a practical format for feeding real
 // packet-capture-derived records to the detector.
+//
+// Two reading modes exist. ReadVisits materializes the whole trace, which
+// is convenient for tests and small captures. StreamVisits decodes in
+// bounded batches and hands each batch to a callback, so consumers (like
+// tbdetect) can fold records into their own per-server state without the
+// process ever holding a second full copy of the trace; its memory use is
+// O(batch), independent of trace length.
+//
+// # Concurrency
+//
+// The free functions are safe to call concurrently on distinct readers
+// and writers, but a single reader or writer must not be shared: JSONL
+// decoding is inherently sequential. StreamVisits reuses its batch slice
+// between callback invocations — the callback must finish with (or copy)
+// the batch before returning, and must not retain it.
 package traceio
 
 import (
@@ -62,25 +77,36 @@ func WriteVisits(w io.Writer, visits []trace.Visit) error {
 	return bw.Flush()
 }
 
-// ReadVisits reads JSONL visits until EOF.
-func ReadVisits(r io.Reader) ([]trace.Visit, error) {
-	var out []trace.Visit
+// DefaultBatch is the StreamVisits batch size used by the CLI tools: big
+// enough to amortize callback dispatch, small enough that a batch stays
+// cache- and allocation-friendly.
+const DefaultBatch = 8192
+
+// StreamVisits reads JSONL visits until EOF, decoding in batches of up to
+// batchSize and passing each batch to fn. The batch slice is reused
+// between calls — fn must not retain it. A non-nil error from fn aborts
+// the stream and is returned verbatim. batchSize <= 0 uses DefaultBatch.
+func StreamVisits(r io.Reader, batchSize int, fn func(batch []trace.Visit) error) error {
+	if batchSize <= 0 {
+		batchSize = DefaultBatch
+	}
 	dec := json.NewDecoder(bufio.NewReader(r))
+	batch := make([]trace.Visit, 0, batchSize)
 	for line := 0; ; line++ {
 		var rec visitRecord
 		if err := dec.Decode(&rec); err != nil {
 			if errors.Is(err, io.EOF) {
 				break
 			}
-			return nil, fmt.Errorf("traceio: read visit line %d: %w", line, err)
+			return fmt.Errorf("traceio: read visit line %d: %w", line, err)
 		}
 		if rec.Server == "" {
-			return nil, fmt.Errorf("traceio: visit line %d has no server", line)
+			return fmt.Errorf("traceio: visit line %d has no server", line)
 		}
 		if rec.DepartUS < rec.ArriveUS {
-			return nil, fmt.Errorf("traceio: visit line %d departs before arriving", line)
+			return fmt.Errorf("traceio: visit line %d departs before arriving", line)
 		}
-		out = append(out, trace.Visit{
+		batch = append(batch, trace.Visit{
 			Server:     rec.Server,
 			Class:      rec.Class,
 			TxnID:      rec.TxnID,
@@ -89,6 +115,29 @@ func ReadVisits(r io.Reader) ([]trace.Visit, error) {
 			Depart:     simnet.Time(rec.DepartUS),
 			Downstream: simnet.Duration(rec.DownstrUS),
 		})
+		if len(batch) == batchSize {
+			if err := fn(batch); err != nil {
+				return err
+			}
+			batch = batch[:0]
+		}
+	}
+	if len(batch) > 0 {
+		return fn(batch)
+	}
+	return nil
+}
+
+// ReadVisits reads JSONL visits until EOF, materializing the whole trace.
+// Prefer StreamVisits when the consumer can fold batches incrementally.
+func ReadVisits(r io.Reader) ([]trace.Visit, error) {
+	var out []trace.Visit
+	err := StreamVisits(r, 0, func(batch []trace.Visit) error {
+		out = append(out, batch...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -2,6 +2,7 @@ package traceio
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -126,5 +127,72 @@ func TestVisitsRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestStreamVisitsBatches(t *testing.T) {
+	visits := make([]trace.Visit, 25)
+	for i := range visits {
+		visits[i] = trace.Visit{
+			Server: "s",
+			Arrive: simnet.Time(i),
+			Depart: simnet.Time(i + 3),
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteVisits(&buf, visits); err != nil {
+		t.Fatal(err)
+	}
+	var sizes []int
+	var streamed []trace.Visit
+	err := StreamVisits(&buf, 10, func(batch []trace.Visit) error {
+		sizes = append(sizes, len(batch))
+		streamed = append(streamed, batch...) // copy: the batch is reused
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 25 visits at batch 10 → 10, 10, 5.
+	if len(sizes) != 3 || sizes[0] != 10 || sizes[1] != 10 || sizes[2] != 5 {
+		t.Fatalf("batch sizes = %v, want [10 10 5]", sizes)
+	}
+	if len(streamed) != len(visits) {
+		t.Fatalf("streamed %d visits, want %d", len(streamed), len(visits))
+	}
+	for i := range visits {
+		if streamed[i] != visits[i] {
+			t.Fatalf("visit %d differs after streaming round trip", i)
+		}
+	}
+}
+
+func TestStreamVisitsCallbackError(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteVisits(&buf, []trace.Visit{
+		{Server: "s", Arrive: 1, Depart: 2},
+		{Server: "s", Arrive: 3, Depart: 4},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("stop")
+	calls := 0
+	err := StreamVisits(&buf, 1, func([]trace.Visit) error {
+		calls++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if calls != 1 {
+		t.Fatalf("callback ran %d times after error, want 1", calls)
+	}
+}
+
+func TestStreamVisitsRejectsMalformed(t *testing.T) {
+	in := `{"server":"s","arrive_us":5,"depart_us":1}` + "\n"
+	err := StreamVisits(strings.NewReader(in), 0, func([]trace.Visit) error { return nil })
+	if err == nil {
+		t.Fatal("want error for depart before arrive")
 	}
 }

@@ -40,6 +40,12 @@ type OnlineConfig struct {
 // classifications with bounded memory — the deployment mode of the
 // method: attach it to a live passive-tracing feed instead of analyzing
 // batches.
+//
+// OnlineDetector is single-writer: Observe and Advance mutate per-server
+// sliding-window state with no internal locking, so calls must be
+// serialized (one feeding goroutine, or an external mutex). To scale
+// ingestion across cores, shard by server — one OnlineDetector per shard
+// — mirroring how Analyze parallelizes the batch pipeline.
 type OnlineDetector struct {
 	cfg     OnlineConfig
 	servers map[string]*core.Online
