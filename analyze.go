@@ -29,6 +29,11 @@ type Record struct {
 	// DownstreamWait is time within the residence spent blocked on calls
 	// to other tiers, if known (improves service-time estimation).
 	DownstreamWait time.Duration
+	// TxnID and HopID optionally link the record into its end-to-end
+	// transaction (0 = unknown). Lenient analysis uses the linkage to
+	// detect and repair cross-server clock skew; strict analysis ignores
+	// both fields.
+	TxnID, HopID int64
 }
 
 // Config tunes an analysis. The zero value reproduces the paper's
@@ -60,6 +65,16 @@ type Config struct {
 	// report is identical at every setting — see PERFORMANCE.md for the
 	// determinism contract.
 	Parallelism int
+	// Lenient makes Analyze survive degraded inputs instead of failing
+	// on the first anomaly: invalid records (no server, or departure
+	// before arrival) are quarantined rather than fatal, cross-server
+	// clock skew is detected and repaired where TxnID linkage permits,
+	// and servers whose analysis fails for lack of usable data are
+	// skipped rather than aborting the report. What was dropped and
+	// repaired is tallied in Report.Quality. Analyze still fails with
+	// ErrNoRecords when every record is quarantined, and with an error
+	// when no server at all produces an analysis.
+	Lenient bool
 }
 
 // Episode is one contiguous run of congested intervals at a server.
@@ -100,12 +115,42 @@ type ServerAnalysis struct {
 	WindowStart time.Duration
 }
 
+// TraceQuality reports what lenient analysis dropped and repaired. All
+// counts are zero and ServerSkew empty for a clean input.
+type TraceQuality struct {
+	// Records is the number of input records; RecordsDropped counts those
+	// quarantined as invalid (no server, or departure before arrival).
+	Records        int
+	RecordsDropped int
+	// SkewViolations counts cross-server causality violations observed
+	// before repair; ServerSkew holds the applied per-server clock
+	// corrections; VisitsRepaired counts records whose timestamps moved.
+	SkewViolations int
+	ServerSkew     map[string]time.Duration
+	VisitsRepaired int
+	// ServersSkipped counts servers dropped because their records were
+	// too sparse or degenerate to analyze.
+	ServersSkipped int
+}
+
+// Coverage is the fraction of input records that survived into the
+// analysis. An empty input counts as full coverage.
+func (q *TraceQuality) Coverage() float64 {
+	if q.Records == 0 {
+		return 1
+	}
+	return float64(q.Records-q.RecordsDropped) / float64(q.Records)
+}
+
 // Report is a whole-system analysis.
 type Report struct {
 	// PerServer maps server name to its analysis.
 	PerServer map[string]*ServerAnalysis
 	// Ranking orders servers by congested fraction, worst first.
 	Ranking []*ServerAnalysis
+	// Quality describes drops and repairs when Config.Lenient was set;
+	// nil for strict runs.
+	Quality *TraceQuality
 }
 
 // ErrNoRecords is returned when Analyze receives no usable records.
@@ -131,9 +176,37 @@ func Analyze(records []Record, cfg Config) (*Report, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	visits, maxDepart, err := convertRecords(records, workers)
-	if err != nil {
-		return nil, err
+	var quality *TraceQuality
+	var visits []trace.Visit
+	var maxDepart simnet.Time
+	if cfg.Lenient {
+		quality = &TraceQuality{Records: len(records)}
+		visits, maxDepart = convertRecordsLenient(records, quality)
+		if len(visits) == 0 {
+			return nil, ErrNoRecords
+		}
+		repaired, srep := trace.RepairVisitSkew(visits)
+		visits = repaired
+		quality.SkewViolations = srep.Violations
+		quality.VisitsRepaired = srep.Shifted
+		if srep.Repaired() {
+			quality.ServerSkew = make(map[string]time.Duration, len(srep.Offsets))
+			for name, off := range srep.Offsets {
+				quality.ServerSkew[name] = simnet.Std(off)
+			}
+			// The repair moved clocks forward; refresh the window end.
+			for _, v := range visits {
+				if v.Depart > maxDepart {
+					maxDepart = v.Depart
+				}
+			}
+		}
+	} else {
+		var err error
+		visits, maxDepart, err = convertRecords(records, workers)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	w := core.Window{
@@ -191,6 +264,10 @@ func Analyze(records []Record, cfg Config) (*Report, error) {
 			for i := range feed {
 				a, err := core.AnalyzeServer(names[i], perServer[names[i]], svc, w, opts)
 				if err != nil {
+					if cfg.Lenient {
+						// Skipped server; tallied after the barrier.
+						continue
+					}
 					errs[i] = fmt.Errorf("transientbd: analyze %q: %w", names[i], err)
 					cancel()
 					continue
@@ -213,13 +290,44 @@ func Analyze(records []Record, cfg Config) (*Report, error) {
 		}
 	}
 
-	report := &Report{PerServer: make(map[string]*ServerAnalysis, len(names))}
+	report := &Report{PerServer: make(map[string]*ServerAnalysis, len(names)), Quality: quality}
 	for i, name := range names {
+		if results[i] == nil {
+			// Only reachable in lenient mode: strict runs fail above on
+			// the first per-server error.
+			quality.ServersSkipped++
+			continue
+		}
 		report.PerServer[name] = results[i]
 		report.Ranking = append(report.Ranking, results[i])
 	}
+	if len(report.PerServer) == 0 {
+		return nil, fmt.Errorf("transientbd: no server produced an analysis")
+	}
 	sortRanking(report.Ranking)
 	return report, nil
+}
+
+// convertRecordsLenient is the lenient counterpart of convertRecords:
+// invalid records are quarantined and counted instead of failing the
+// call. It runs serially — the quarantine tally is a shared counter, and
+// lenient inputs are the degraded-trace path where throughput is not the
+// bottleneck.
+func convertRecordsLenient(records []Record, q *TraceQuality) ([]trace.Visit, simnet.Time) {
+	visits := make([]trace.Visit, 0, len(records))
+	var maxDepart simnet.Time
+	for i := range records {
+		if validateRecord(i, &records[i]) != nil {
+			q.RecordsDropped++
+			continue
+		}
+		v := recordToVisit(&records[i])
+		visits = append(visits, v)
+		if v.Depart > maxDepart {
+			maxDepart = v.Depart
+		}
+	}
+	return visits, maxDepart
 }
 
 // convertParallelMin is the record count below which sharded conversion is
@@ -330,6 +438,8 @@ func recordToVisit(r *Record) trace.Visit {
 		Arrive:     simnet.FromStdDuration(r.Arrive),
 		Depart:     simnet.FromStdDuration(r.Depart),
 		Downstream: simnet.FromStdDuration(r.DownstreamWait),
+		TxnID:      r.TxnID,
+		HopID:      r.HopID,
 	}
 }
 

@@ -293,3 +293,95 @@ func rankingNames(rs []*ServerAnalysis) []string {
 	}
 	return out
 }
+
+// Lenient mode survives exactly the inputs strict mode rejects, and says
+// what it dropped.
+func TestAnalyzeLenientQuarantinesInvalidRecords(t *testing.T) {
+	recs := busyTrace()
+	recs = append(recs,
+		Record{Server: "", Arrive: 0, Depart: time.Second},       // no server
+		Record{Server: "db", Arrive: 2 * time.Second, Depart: 0}, // reversed
+	)
+	if _, err := Analyze(recs, Config{}); err == nil {
+		t.Fatal("strict mode should reject the corrupt records")
+	}
+	report, err := Analyze(recs, Config{Lenient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := report.Quality
+	if q == nil {
+		t.Fatal("lenient report has no quality block")
+	}
+	if q.Records != len(recs) || q.RecordsDropped != 2 {
+		t.Errorf("records %d dropped %d, want %d and 2", q.Records, q.RecordsDropped, len(recs))
+	}
+	if c := q.Coverage(); c <= 0.9 || c >= 1 {
+		t.Errorf("coverage = %v, want in (0.9, 1)", c)
+	}
+	if report.PerServer["db"] == nil {
+		t.Error("db analysis missing despite usable records")
+	}
+	// The surviving records are clean, so the detection result must match
+	// a strict run over just those records.
+	strict, err := Analyze(busyTrace(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := report.PerServer["db"].CongestedFraction, strict.PerServer["db"].CongestedFraction; got != want {
+		t.Errorf("lenient congested fraction %v != strict %v on identical usable records", got, want)
+	}
+}
+
+func TestAnalyzeLenientRepairsVisitSkew(t *testing.T) {
+	// One transaction: an entry visit at "web" containing a nested visit
+	// at "db" whose collector clock trails by 20ms, so the db visit seems
+	// to start 15ms before the web entry arrives.
+	recs := []Record{
+		{Server: "web", TxnID: 1, HopID: 1, Arrive: 100 * time.Millisecond, Depart: 130 * time.Millisecond},
+		{Server: "db", TxnID: 1, HopID: 2, Arrive: 105*time.Millisecond - 20*time.Millisecond, Depart: 115*time.Millisecond - 20*time.Millisecond},
+	}
+	// Pad both servers with enough clean traffic to analyze.
+	at := 200 * time.Millisecond
+	for i := 0; i < 200; i++ {
+		recs = append(recs,
+			Record{Server: "web", Arrive: at, Depart: at + 8*time.Millisecond},
+			Record{Server: "db", Arrive: at + time.Millisecond, Depart: at + 4*time.Millisecond},
+		)
+		at += 10 * time.Millisecond
+	}
+	report, err := Analyze(recs, Config{Lenient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := report.Quality
+	if q.SkewViolations == 0 {
+		t.Error("skew violation not detected")
+	}
+	if q.ServerSkew["db"] <= 0 {
+		t.Errorf("db skew = %v, want positive", q.ServerSkew["db"])
+	}
+	if q.VisitsRepaired == 0 {
+		t.Error("no visits repaired")
+	}
+}
+
+func TestAnalyzeLenientAllQuarantined(t *testing.T) {
+	recs := []Record{
+		{Server: "", Arrive: 0, Depart: time.Second},
+		{Server: "s", Arrive: time.Second, Depart: 0},
+	}
+	if _, err := Analyze(recs, Config{Lenient: true}); !errors.Is(err, ErrNoRecords) {
+		t.Errorf("err = %v, want ErrNoRecords", err)
+	}
+}
+
+func TestAnalyzeStrictHasNoQualityBlock(t *testing.T) {
+	report, err := Analyze(busyTrace(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Quality != nil {
+		t.Error("strict report should not carry a quality block")
+	}
+}

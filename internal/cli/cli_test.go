@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -168,8 +169,11 @@ func TestTBDetectEmptyTrace(t *testing.T) {
 		t.Fatal(err)
 	}
 	var stdout, stderr bytes.Buffer
-	if err := TBDetect([]string{"-in", empty}, &stdout, &stderr); err == nil {
-		t.Error("want error for empty trace")
+	if err := TBDetect([]string{"-in", empty}, &stdout, &stderr); err != nil {
+		t.Fatalf("empty trace should exit cleanly, got %v", err)
+	}
+	if !strings.Contains(stdout.String(), "no visits") {
+		t.Errorf("missing no-visits notice, got %q", stdout.String())
 	}
 }
 
@@ -462,6 +466,81 @@ func TestCLIDocsCoverAllFlags(t *testing.T) {
 			if !strings.Contains(ref, "`"+f+"`") {
 				t.Errorf("%s flag %s is not documented in docs/cli.md", tool.name, f)
 			}
+		}
+	}
+}
+
+// The degraded-trace acceptance path: a wire capture with a garbage
+// line, an orphan return, and one server's clock skewed backwards must
+// fail loudly in strict mode and analyze cleanly in lenient mode, with
+// the quality block owning up to every repair.
+func TestTBDetectLenientSurvivesCorruptCapture(t *testing.T) {
+	dir := t.TempDir()
+	msgs := filepath.Join(dir, "messages.jsonl")
+	var simOut, simErr bytes.Buffer
+	if err := NtierSim([]string{
+		"-users", "300", "-duration", "10s", "-ramp", "3s", "-seed", "9",
+		"-out", filepath.Join(dir, "v.jsonl"),
+		"-messages", msgs,
+	}, &simOut, &simErr); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the capture: skew mysql-1's clock back 20ms, inject a
+	// garbage line mid-file, and append an orphan return.
+	data, err := os.ReadFile(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	for i, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d not JSON: %v", i+1, err)
+		}
+		if m["from"] == "mysql-1" {
+			m["at_us"] = int64(m["at_us"].(float64)) - 20_000
+			b, err := json.Marshal(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lines[i] = string(b)
+		}
+	}
+	mid := len(lines) / 2
+	lines = append(lines[:mid], append([]string{"{garbage not json"}, lines[mid:]...)...)
+	lines = append(lines, `{"at_us":999999999,"from":"mysql-1","to":"cjdbc","dir":"return","hop":987654321}`)
+	corrupt := filepath.Join(dir, "corrupt.jsonl")
+	if err := os.WriteFile(corrupt, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var strictOut, strictErr bytes.Buffer
+	if err := TBDetect([]string{"-in", corrupt, "-wire"}, &strictOut, &strictErr); err == nil {
+		t.Fatal("strict mode should fail on the corrupt capture")
+	}
+
+	var out, errBuf bytes.Buffer
+	if err := TBDetect([]string{"-in", corrupt, "-wire", "-lenient", "-quality"}, &out, &errBuf); err != nil {
+		t.Fatalf("lenient mode failed: %v", err)
+	}
+	report := out.String()
+	for _, server := range []string{"apache", "tomcat-1", "mysql-1", "cjdbc"} {
+		if !strings.Contains(report, server) {
+			t.Errorf("report missing %s:\n%s", server, report)
+		}
+	}
+	if !strings.Contains(report, "trace quality:") {
+		t.Fatalf("quality block missing:\n%s", report)
+	}
+	// The block must own up to each injected corruption: the garbage
+	// line, the orphan return, and the skewed server.
+	if !regexp.MustCompile(`lines read / skipped\s+\d+ / 1`).MatchString(report) {
+		t.Errorf("skipped-lines count wrong:\n%s", report)
+	}
+	for _, want := range []string{"orphan returns 1", "mysql-1 +"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("quality block missing %q:\n%s", want, report)
 		}
 	}
 }

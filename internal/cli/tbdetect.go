@@ -32,6 +32,9 @@ func TBDetect(args []string, stdout, stderr io.Writer) error {
 		auto     = fs.Bool("auto", false, "choose the monitoring interval automatically (overrides -interval)")
 		rootCA   = fs.Bool("rootcause", false, "with -wire: attribute congestion to its origin using the call graph")
 		parallel = fs.Int("parallel", 0, "worker goroutines for the analysis (0 = GOMAXPROCS, 1 = serial; results are identical)")
+		lenient  = fs.Bool("lenient", false, "survive degraded traces: skip corrupt lines, quarantine anomalous hops, repair clock skew")
+		quality  = fs.Bool("quality", false, "print the trace-quality block (lines skipped, visits quarantined, skew repairs)")
+		inflight = fs.Duration("inflight", 0, "with -wire -lenient: count unterminated visits older than this as timed out rather than in flight (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -47,26 +50,53 @@ func TBDetect(args []string, stdout, stderr io.Writer) error {
 		r = f
 	}
 	// Ingest straight into the per-server grouping the analysis needs.
-	// The visit path streams in bounded batches, so the only full-trace
-	// state is the grouped map itself; the wire path has to materialize
-	// the capture because call/return pairing is a whole-trace operation.
+	// The strict visit path streams in bounded batches, so the only
+	// full-trace state is the grouped map itself; the wire path — and the
+	// lenient visit path, whose skew repair needs whole transactions — has
+	// to materialize the trace first.
+	q := &core.TraceQuality{}
+	ioOpts := traceio.StreamOptions{Policy: traceio.Strict}
+	if *lenient {
+		ioOpts.Policy = traceio.Skip
+	}
 	var perServer map[string][]trace.Visit
 	var total int
 	var maxDepart simnet.Time
 	var callGraph map[string][]string
 	if *wire {
-		msgs, rerr := traceio.ReadMessages(r)
+		msgs, stats, rerr := traceio.ReadMessagesOpts(r, ioOpts)
 		if rerr != nil {
 			return rerr
 		}
+		q.LinesRead = stats.Lines
+		q.LinesSkipped = stats.Skipped()
+		if *lenient {
+			repaired, srep := trace.RepairSkew(msgs)
+			msgs = repaired
+			q.SkewViolations = srep.Violations
+			q.SkewOffsets = srep.Offsets
+			q.VisitsRepaired = srep.Shifted
+		}
 		callGraph = trace.CallGraph(msgs)
 		var visits []trace.Visit
-		if *blackbox {
+		switch {
+		case *blackbox:
 			rec := trace.Reconstruct(msgs)
 			fmt.Fprintf(stderr, "tbdetect: black-box reconstruction: %d pairs, accuracy %.2f%%, %d unmatched calls\n",
 				rec.PairedHops, 100*rec.Accuracy(), rec.UnmatchedCalls)
 			visits = rec.Visits
-		} else {
+		case *lenient:
+			var arep trace.AssemblyReport
+			visits, arep = trace.AssembleLenient(msgs, trace.AssembleOptions{
+				InFlightTimeout: simnet.FromStdDuration(*inflight),
+			})
+			q.VisitsQuarantined = arep.Quarantined()
+			q.OrphanReturns = arep.OrphanReturns
+			q.DuplicateMessages = arep.DuplicateCalls + arep.DuplicateReturns
+			q.NegativeSpans = arep.NegativeSpans
+			q.InFlight = arep.InFlight
+			q.TimedOut = arep.TimedOut
+		default:
 			var err error
 			visits, err = trace.Assemble(msgs)
 			if err != nil {
@@ -80,9 +110,33 @@ func TBDetect(args []string, stdout, stderr io.Writer) error {
 			}
 		}
 		perServer = trace.PerServerParallel(visits, *parallel)
+	} else if *lenient {
+		var visits []trace.Visit
+		stats, err := traceio.StreamVisitsOpts(r, ioOpts, func(batch []trace.Visit) error {
+			visits = append(visits, batch...)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		q.LinesRead = stats.Lines
+		q.LinesSkipped = stats.Malformed
+		q.VisitsQuarantined = stats.Invalid
+		repaired, srep := trace.RepairVisitSkew(visits)
+		visits = repaired
+		q.SkewViolations = srep.Violations
+		q.SkewOffsets = srep.Offsets
+		q.VisitsRepaired = srep.Shifted
+		total = len(visits)
+		for _, v := range visits {
+			if v.Depart > maxDepart {
+				maxDepart = v.Depart
+			}
+		}
+		perServer = trace.PerServerParallel(visits, *parallel)
 	} else {
 		perServer = make(map[string][]trace.Visit)
-		err := traceio.StreamVisits(r, traceio.DefaultBatch, func(batch []trace.Visit) error {
+		stats, err := traceio.StreamVisitsOpts(r, ioOpts, func(batch []trace.Visit) error {
 			for _, v := range batch {
 				perServer[v.Server] = append(perServer[v.Server], v)
 				if v.Depart > maxDepart {
@@ -95,9 +149,15 @@ func TBDetect(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
+		q.LinesRead = stats.Lines
 	}
+	q.VisitsAssembled = total
 	if total == 0 {
-		return fmt.Errorf("tbdetect: trace is empty")
+		fmt.Fprintln(stdout, "tbdetect: no visits in trace; nothing to analyze")
+		if *quality {
+			fmt.Fprint(stdout, q.String())
+		}
+		return nil
 	}
 
 	w := core.Window{
@@ -135,9 +195,15 @@ func TBDetect(args []string, stdout, stderr io.Writer) error {
 		Interval:      chosen,
 		RawThroughput: *raw,
 		Parallelism:   *parallel,
+		Quality:       q,
 	})
 	if err != nil {
 		return err
+	}
+
+	if *quality {
+		fmt.Fprint(stdout, q.String())
+		fmt.Fprintln(stdout)
 	}
 
 	fmt.Fprintf(stdout, "%-12s  %8s  %12s  %10s  %10s  %6s\n",

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"transientbd/internal/metrics"
@@ -64,6 +65,11 @@ type Options struct {
 	// default) uses GOMAXPROCS; 1 forces the serial path. Results are
 	// identical at every setting.
 	Parallelism int
+	// Quality, when non-nil, is the trace-quality report accumulated by
+	// the ingestion and repair passes that produced the visits. Analysis
+	// adds its own tally (servers skipped for lack of usable data) and
+	// attaches the report to the SystemAnalysis.
+	Quality *TraceQuality
 }
 
 func (o *Options) applyDefaults() {
@@ -194,6 +200,19 @@ func AnalyzeServer(serverName string, visits []trace.Visit, svc ServiceTimes, w 
 	case err != nil:
 		return nil, fmt.Errorf("core: estimate N* for %q: %w", serverName, err)
 	}
+	if math.IsNaN(nstar.NStar) || math.IsInf(nstar.NStar, 0) {
+		// A degenerate curve (degraded trace, near-empty intervals) can
+		// poison the estimate. Fall back to the highest finite observed
+		// load so classification stays well-defined and conservative.
+		maxLoad := 0.0
+		for _, p := range pts {
+			if !math.IsNaN(p.Load) && !math.IsInf(p.Load, 0) && p.Load > maxLoad {
+				maxLoad = p.Load
+			}
+		}
+		nstar.NStar = maxLoad
+		nstar.Saturated = false
+	}
 
 	a := &Analysis{
 		Server:       serverName,
@@ -210,6 +229,10 @@ func AnalyzeServer(serverName string, visits []trace.Visit, svc ServiceTimes, w 
 	for i := 0; i < load.Len(); i++ {
 		l := load.Value(i)
 		switch {
+		case math.IsNaN(l):
+			// A NaN load (empty or degenerate interval) compares false
+			// against everything; classify it as idle, not normal.
+			a.States[i] = StateIdle
 		case l < opts.MinIdleLoad:
 			a.States[i] = StateIdle
 		case l > nstar.NStar:
@@ -245,6 +268,9 @@ type SystemAnalysis struct {
 	// Ranking lists servers by congested fraction, worst first — the
 	// transient-bottleneck ranking the operator acts on.
 	Ranking []ServerReport
+	// Quality is the trace-quality report when the caller supplied one
+	// via Options.Quality; nil for a strict, clean run.
+	Quality *TraceQuality
 }
 
 // AnalyzeSystem groups visits by server and analyzes each, ranking servers
@@ -289,10 +315,12 @@ func AnalyzeSystemGrouped(perServer map[string][]trace.Visit, w Window, opts Opt
 		analyses[i] = a
 	})
 
-	out := &SystemAnalysis{PerServer: make(map[string]*Analysis, len(names))}
+	out := &SystemAnalysis{PerServer: make(map[string]*Analysis, len(names)), Quality: opts.Quality}
 	for i, a := range analyses {
 		if a != nil {
 			out.PerServer[names[i]] = a
+		} else if opts.Quality != nil {
+			opts.Quality.ServersSkipped++
 		}
 	}
 	if len(out.PerServer) == 0 {

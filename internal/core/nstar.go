@@ -260,7 +260,9 @@ func EstimateNStar(points []Point, opts NStarOptions) (NStarResult, error) {
 func binCurve(points []Point, k, minSamples int, minLoad float64) ([]BinPoint, error) {
 	var usable []Point
 	for _, p := range points {
-		if p.Load > 0 && p.Load >= minLoad && !math.IsNaN(p.TP) && !math.IsInf(p.TP, 0) {
+		if p.Load > 0 && p.Load >= minLoad &&
+			!math.IsNaN(p.Load) && !math.IsInf(p.Load, 0) &&
+			!math.IsNaN(p.TP) && !math.IsInf(p.TP, 0) {
 			usable = append(usable, p)
 		}
 	}

@@ -201,6 +201,18 @@ func Registry() []Runner {
 			},
 		},
 		{
+			ID:          "ext-robustness",
+			Description: "Extension: graceful degradation of detection under capture faults",
+			Run: func(w io.Writer, opts RunOpts) error {
+				r, err := Robustness(opts)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintln(w, r.Table().String())
+				return nil
+			},
+		},
+		{
 			ID:          "ext-governor",
 			Description: "Ablation: SpeedStep governor control-period sweep",
 			Run: func(w io.Writer, opts RunOpts) error {

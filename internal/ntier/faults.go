@@ -1,0 +1,67 @@
+package ntier
+
+import (
+	"transientbd/internal/simnet"
+	"transientbd/internal/trace"
+)
+
+// FaultSpec describes the capture-side degradations InjectFaults applies
+// to a clean wire trace: the failure modes of real passive tracing rigs
+// (dropped packets at the mirror port, duplicated frames, drifting
+// per-server clocks, a capture that stops mid-run). The zero value
+// injects nothing.
+type FaultSpec struct {
+	// Seed drives the loss and duplication draws; the same seed and spec
+	// always degrade a trace identically.
+	Seed int64
+	// LossRate is the probability each message is silently dropped.
+	LossRate float64
+	// DupRate is the probability each surviving message is recorded
+	// twice (same timestamp), as a mirroring switch under load does.
+	DupRate float64
+	// SkewByServer shifts every message *sent by* the named server by
+	// the given amount (negative = that server's clock trails).
+	SkewByServer map[string]simnet.Duration
+	// TruncateAt drops every message at or after this time (0 = off),
+	// modeling a capture that ends mid-run.
+	TruncateAt simnet.Time
+}
+
+// FaultReport tallies what InjectFaults did.
+type FaultReport struct {
+	Input      int
+	Dropped    int
+	Duplicated int
+	Skewed     int
+	Truncated  int
+	Output     int
+}
+
+// InjectFaults returns a degraded copy of a wire capture per the spec.
+// The input is never modified.
+func InjectFaults(msgs []trace.Message, spec FaultSpec) ([]trace.Message, FaultReport) {
+	rng := simnet.NewRNG(spec.Seed).Split("faults")
+	rep := FaultReport{Input: len(msgs)}
+	out := make([]trace.Message, 0, len(msgs))
+	for _, m := range msgs {
+		if spec.TruncateAt > 0 && m.At >= spec.TruncateAt {
+			rep.Truncated++
+			continue
+		}
+		if spec.LossRate > 0 && rng.Float64() < spec.LossRate {
+			rep.Dropped++
+			continue
+		}
+		if off, ok := spec.SkewByServer[m.From]; ok && off != 0 {
+			m.At += off
+			rep.Skewed++
+		}
+		out = append(out, m)
+		if spec.DupRate > 0 && rng.Float64() < spec.DupRate {
+			out = append(out, m)
+			rep.Duplicated++
+		}
+	}
+	rep.Output = len(out)
+	return out, rep
+}

@@ -1,0 +1,100 @@
+package ntier
+
+import (
+	"testing"
+
+	"transientbd/internal/simnet"
+	"transientbd/internal/trace"
+)
+
+func faultFixture(n int) []trace.Message {
+	msgs := make([]trace.Message, n)
+	for i := range msgs {
+		from := "apache"
+		if i%2 == 1 {
+			from = "mysql"
+		}
+		msgs[i] = trace.Message{
+			At:    simnet.Time(i) * simnet.Millisecond,
+			From:  from,
+			To:    "tomcat",
+			Dir:   trace.Call,
+			HopID: int64(i + 1),
+		}
+	}
+	return msgs
+}
+
+func TestInjectFaultsZeroSpecIsIdentity(t *testing.T) {
+	msgs := faultFixture(100)
+	out, rep := InjectFaults(msgs, FaultSpec{})
+	if rep.Dropped+rep.Duplicated+rep.Skewed+rep.Truncated != 0 {
+		t.Fatalf("zero spec injected faults: %+v", rep)
+	}
+	if len(out) != len(msgs) {
+		t.Fatalf("output %d messages, want %d", len(out), len(msgs))
+	}
+	for i := range msgs {
+		if out[i] != msgs[i] {
+			t.Fatalf("message %d changed: %+v", i, out[i])
+		}
+	}
+}
+
+func TestInjectFaultsDeterministic(t *testing.T) {
+	msgs := faultFixture(500)
+	spec := FaultSpec{Seed: 7, LossRate: 0.1, DupRate: 0.05}
+	a, repA := InjectFaults(msgs, spec)
+	b, repB := InjectFaults(msgs, spec)
+	if repA != repB || len(a) != len(b) {
+		t.Fatalf("same spec diverged: %+v vs %+v", repA, repB)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("message %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestInjectFaultsApproximateLossRate(t *testing.T) {
+	msgs := faultFixture(10000)
+	_, rep := InjectFaults(msgs, FaultSpec{Seed: 3, LossRate: 0.05})
+	if rep.Dropped < 350 || rep.Dropped > 650 {
+		t.Errorf("dropped %d of 10000 at 5%% loss, want ~500", rep.Dropped)
+	}
+	if rep.Output != rep.Input-rep.Dropped {
+		t.Errorf("report does not add up: %+v", rep)
+	}
+}
+
+func TestInjectFaultsTruncation(t *testing.T) {
+	msgs := faultFixture(100) // timestamps 0..99ms
+	out, rep := InjectFaults(msgs, FaultSpec{TruncateAt: 50 * simnet.Millisecond})
+	if rep.Truncated != 50 || len(out) != 50 {
+		t.Fatalf("truncated %d, kept %d; want 50/50", rep.Truncated, len(out))
+	}
+	for _, m := range out {
+		if m.At >= 50*simnet.Millisecond {
+			t.Fatalf("message at %v survived truncation", m.At)
+		}
+	}
+}
+
+func TestInjectFaultsSkew(t *testing.T) {
+	msgs := faultFixture(10)
+	out, rep := InjectFaults(msgs, FaultSpec{
+		SkewByServer: map[string]simnet.Duration{"mysql": -5 * simnet.Millisecond},
+	})
+	if rep.Skewed != 5 {
+		t.Fatalf("skewed %d messages, want mysql's 5", rep.Skewed)
+	}
+	for i, m := range out {
+		want := msgs[i].At
+		if msgs[i].From == "mysql" {
+			want -= 5 * simnet.Millisecond
+		}
+		if m.At != want {
+			t.Fatalf("message %d at %v, want %v", i, m.At, want)
+		}
+	}
+}

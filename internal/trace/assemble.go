@@ -4,7 +4,48 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"transientbd/internal/simnet"
 )
+
+// AssembleOptions tunes lenient assembly.
+type AssembleOptions struct {
+	// InFlightTimeout is the watchdog for unterminated hops: a call with
+	// no captured return whose age at capture end exceeds the timeout is
+	// presumed to have lost its return message (TimedOut), not to be
+	// legitimately in flight at the capture boundary (InFlight). Both are
+	// quarantined; the distinction only affects the report. 0 disables
+	// the watchdog (everything unterminated counts as in flight).
+	InFlightTimeout simnet.Duration
+}
+
+// AssemblyReport counts what lenient assembly produced and quarantined.
+type AssemblyReport struct {
+	// Visits is the number of visit records produced.
+	Visits int
+	// OrphanReturns counts returns with no captured call.
+	OrphanReturns int
+	// DuplicateCalls and DuplicateReturns count extra messages for a hop
+	// that already had one (retransmissions, duplicated capture); the
+	// earliest-stamped message wins.
+	DuplicateCalls   int
+	DuplicateReturns int
+	// InvalidDirection counts messages that are neither call nor return.
+	InvalidDirection int
+	// NegativeSpans counts hops whose return precedes their call even
+	// after any upstream skew repair; their visits are quarantined.
+	NegativeSpans int
+	// InFlight counts calls unterminated at capture end (within the
+	// watchdog); TimedOut counts those older than InFlightTimeout.
+	InFlight int
+	TimedOut int
+}
+
+// Quarantined is the total number of hops that produced no visit.
+func (r AssemblyReport) Quarantined() int {
+	return r.OrphanReturns + r.DuplicateCalls + r.DuplicateReturns +
+		r.InvalidDirection + r.NegativeSpans + r.InFlight + r.TimedOut
+}
 
 // Assemble pairs call and return messages by ground-truth HopID and builds
 // the per-server visit list, attributing downstream wait time to parent
@@ -13,15 +54,37 @@ import (
 // Unmatched calls (no return captured before the end of the run) are
 // dropped: the request was still in flight when tracing stopped, so its
 // departure timestamp is unknown — the same truncation a real packet trace
-// has at the capture boundary.
+// has at the capture boundary. Any other anomaly (orphan return, duplicate
+// message, return before call) is an error; use AssembleLenient to
+// quarantine anomalies instead.
 func Assemble(msgs []Message) ([]Visit, error) {
+	visits, _, err := assemble(msgs, AssembleOptions{}, false)
+	return visits, err
+}
+
+// AssembleLenient is Assemble for degraded captures: instead of failing
+// on the first anomaly it quarantines the affected hop, counts it in the
+// report, and assembles everything else. Duplicate calls or returns keep
+// the earliest-stamped copy, so a retransmitted or doubly-captured
+// message does not lose the hop.
+func AssembleLenient(msgs []Message, opts AssembleOptions) ([]Visit, AssemblyReport) {
+	visits, rep, _ := assemble(msgs, opts, true)
+	return visits, rep
+}
+
+func assemble(msgs []Message, opts AssembleOptions, lenient bool) ([]Visit, AssemblyReport, error) {
 	type hop struct {
 		call *Message
 		ret  *Message
 	}
+	var rep AssemblyReport
 	hops := make(map[int64]*hop, len(msgs)/2)
+	var captureEnd simnet.Time
 	for i := range msgs {
 		m := &msgs[i]
+		if m.At > captureEnd {
+			captureEnd = m.At
+		}
 		h := hops[m.HopID]
 		if h == nil {
 			h = &hop{}
@@ -30,16 +93,33 @@ func Assemble(msgs []Message) ([]Visit, error) {
 		switch m.Dir {
 		case Call:
 			if h.call != nil {
-				return nil, fmt.Errorf("trace: duplicate call for hop %d", m.HopID)
+				if !lenient {
+					return nil, rep, fmt.Errorf("trace: duplicate call for hop %d at server %q", m.HopID, m.To)
+				}
+				rep.DuplicateCalls++
+				if m.At < h.call.At {
+					h.call = m
+				}
+				continue
 			}
 			h.call = m
 		case Return:
 			if h.ret != nil {
-				return nil, fmt.Errorf("trace: duplicate return for hop %d", m.HopID)
+				if !lenient {
+					return nil, rep, fmt.Errorf("trace: duplicate return for hop %d from server %q", m.HopID, m.From)
+				}
+				rep.DuplicateReturns++
+				if m.At < h.ret.At {
+					h.ret = m
+				}
+				continue
 			}
 			h.ret = m
 		default:
-			return nil, fmt.Errorf("trace: message with invalid direction %d", int(m.Dir))
+			if !lenient {
+				return nil, rep, fmt.Errorf("trace: message with invalid direction %d (from %q to %q)", int(m.Dir), m.From, m.To)
+			}
+			rep.InvalidDirection++
 		}
 	}
 
@@ -47,13 +127,31 @@ func Assemble(msgs []Message) ([]Visit, error) {
 	var complete []*hop
 	for id, h := range hops {
 		if h.call == nil {
-			return nil, fmt.Errorf("trace: return without call for hop %d", id)
+			if h.ret == nil {
+				continue // only invalid-direction messages carried this hop id
+			}
+			if !lenient {
+				return nil, rep, fmt.Errorf("trace: return without call for hop %d from server %q", id, h.ret.From)
+			}
+			rep.OrphanReturns++
+			continue
 		}
 		if h.ret == nil {
-			continue // in flight at capture end
+			// Unterminated: in flight at the capture boundary, or — past
+			// the watchdog — a lost return message.
+			if opts.InFlightTimeout > 0 && h.call.At+opts.InFlightTimeout <= captureEnd {
+				rep.TimedOut++
+			} else {
+				rep.InFlight++
+			}
+			continue
 		}
 		if h.ret.At < h.call.At {
-			return nil, fmt.Errorf("trace: hop %d returns before it is called", id)
+			if !lenient {
+				return nil, rep, fmt.Errorf("trace: hop %d at server %q returns before it is called", id, h.call.To)
+			}
+			rep.NegativeSpans++
+			continue
 		}
 		visits[id] = &Visit{
 			Server: h.call.To,
@@ -74,7 +172,7 @@ func Assemble(msgs []Message) ([]Visit, error) {
 		}
 		parent, ok := visits[h.call.ParentHop]
 		if !ok {
-			continue // parent still in flight; its visit is dropped anyway
+			continue // parent still in flight or quarantined; its visit is gone anyway
 		}
 		parent.Downstream += h.ret.At - h.call.At
 	}
@@ -89,7 +187,8 @@ func Assemble(msgs []Message) ([]Visit, error) {
 		}
 		return out[i].HopID < out[j].HopID
 	})
-	return out, nil
+	rep.Visits = len(out)
+	return out, rep, nil
 }
 
 // PerServer groups visits by server name, preserving input order within

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"strings"
 	"testing"
 
 	"transientbd/internal/simnet"
@@ -89,38 +90,129 @@ func TestAssembleDropsInFlight(t *testing.T) {
 	}
 }
 
+// Strict-mode failures must name the server involved, not just the hop
+// id, so an operator can find the offending capture point.
 func TestAssembleErrors(t *testing.T) {
+	wantErr := func(t *testing.T, msgs []Message, server string) {
+		t.Helper()
+		_, err := Assemble(msgs)
+		if err == nil {
+			t.Fatal("want error")
+		}
+		if !strings.Contains(err.Error(), `"`+server+`"`) {
+			t.Errorf("error %q does not name server %q", err, server)
+		}
+	}
 	dup := []Message{
 		{At: 0, From: "a", To: "b", Dir: Call, HopID: 1},
 		{At: 1, From: "a", To: "b", Dir: Call, HopID: 1},
 	}
-	if _, err := Assemble(dup); err == nil {
-		t.Error("want error for duplicate call")
-	}
+	wantErr(t, dup, "b")
 	dupRet := []Message{
 		{At: 0, From: "a", To: "b", Dir: Call, HopID: 1},
 		{At: 1, From: "b", To: "a", Dir: Return, HopID: 1},
 		{At: 2, From: "b", To: "a", Dir: Return, HopID: 1},
 	}
-	if _, err := Assemble(dupRet); err == nil {
-		t.Error("want error for duplicate return")
-	}
+	wantErr(t, dupRet, "b")
 	orphan := []Message{
 		{At: 1, From: "b", To: "a", Dir: Return, HopID: 9},
 	}
-	if _, err := Assemble(orphan); err == nil {
-		t.Error("want error for return without call")
-	}
+	wantErr(t, orphan, "b")
 	backwards := []Message{
 		{At: 5, From: "a", To: "b", Dir: Call, HopID: 1},
 		{At: 1, From: "b", To: "a", Dir: Return, HopID: 1},
 	}
-	if _, err := Assemble(backwards); err == nil {
-		t.Error("want error for return before call")
-	}
+	wantErr(t, backwards, "b")
 	invalid := []Message{{At: 0, HopID: 1, Dir: Direction(9)}}
 	if _, err := Assemble(invalid); err == nil {
 		t.Error("want error for invalid direction")
+	}
+}
+
+// corruptFig4Trace is the Fig 4 trace plus one of every anomaly lenient
+// assembly must quarantine.
+func corruptFig4Trace() []Message {
+	msgs := buildFig4Trace()
+	return append(msgs,
+		// Orphan return: its call was never captured.
+		Message{At: 20 * ms, From: "mysql", To: "tomcat", Dir: Return, Class: "qC", HopID: 99},
+		// Duplicated return for hop 3 (retransmission); later stamp loses.
+		Message{At: 7 * ms, From: "mysql", To: "tomcat", Dir: Return, Class: "qA", TxnID: 1, HopID: 3},
+		// Duplicated call for hop 2.
+		Message{At: 3 * ms, From: "apache", To: "tomcat", Dir: Call, Class: "page", TxnID: 1, HopID: 2, ParentHop: 1},
+		// Negative-span hop: returns before it is called.
+		Message{At: 30 * ms, From: "tomcat", To: "mysql", Dir: Call, Class: "qD", TxnID: 2, HopID: 50},
+		Message{At: 29 * ms, From: "mysql", To: "tomcat", Dir: Return, Class: "qD", TxnID: 2, HopID: 50},
+		// Invalid direction.
+		Message{At: 31 * ms, From: "x", To: "y", Dir: Direction(7), HopID: 60},
+		// Unterminated calls: one fresh (in flight), one stale (timed out
+		// under a 5ms watchdog; capture ends at 40ms).
+		Message{At: 39 * ms, From: "tomcat", To: "mysql", Dir: Call, Class: "qE", TxnID: 3, HopID: 70},
+		Message{At: 16 * ms, From: "tomcat", To: "mysql", Dir: Call, Class: "qF", TxnID: 3, HopID: 71},
+		Message{At: 40 * ms, From: "client", To: "apache", Dir: Call, Class: "page", TxnID: 4, HopID: 80},
+	)
+}
+
+func TestAssembleLenientQuarantines(t *testing.T) {
+	msgs := corruptFig4Trace()
+	// Strict mode must still fail loudly on this capture.
+	if _, err := Assemble(msgs); err == nil {
+		t.Fatal("strict Assemble accepted a corrupt capture")
+	}
+	visits, rep := AssembleLenient(msgs, AssembleOptions{InFlightTimeout: 5 * ms})
+	if len(visits) != 4 {
+		t.Fatalf("visits = %d, want the 4 clean Fig 4 visits", len(visits))
+	}
+	if rep.Visits != len(visits) {
+		t.Errorf("rep.Visits = %d, want %d", rep.Visits, len(visits))
+	}
+	if rep.OrphanReturns != 1 || rep.DuplicateReturns != 1 || rep.DuplicateCalls != 1 ||
+		rep.NegativeSpans != 1 || rep.InvalidDirection != 1 {
+		t.Errorf("anomaly counts wrong: %+v", rep)
+	}
+	// Hops 39ms and 40ms are younger than the 5ms watchdog at capture end
+	// (40ms); hop 71 (16ms) is stale.
+	if rep.InFlight != 2 || rep.TimedOut != 1 {
+		t.Errorf("in-flight/timed-out = %d/%d, want 2/1 (%+v)", rep.InFlight, rep.TimedOut, rep)
+	}
+	// The duplicates kept the earliest stamps, so the clean visits are
+	// bit-identical to strict assembly of the clean capture.
+	clean, err := Assemble(buildFig4Trace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range clean {
+		if visits[i] != clean[i] {
+			t.Errorf("visit %d = %+v, want %+v", i, visits[i], clean[i])
+		}
+	}
+}
+
+func TestAssembleLenientWatchdogDisabled(t *testing.T) {
+	msgs := corruptFig4Trace()
+	_, rep := AssembleLenient(msgs, AssembleOptions{})
+	if rep.TimedOut != 0 || rep.InFlight != 3 {
+		t.Errorf("without watchdog in-flight/timed-out = %d/%d, want 3/0", rep.InFlight, rep.TimedOut)
+	}
+}
+
+func TestAssembleLenientCleanTraceMatchesStrict(t *testing.T) {
+	msgs := buildFig4Trace()
+	strict, err := Assemble(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lenient, rep := AssembleLenient(msgs, AssembleOptions{InFlightTimeout: ms})
+	if rep.Quarantined() != 0 {
+		t.Errorf("clean trace quarantined %d hops: %+v", rep.Quarantined(), rep)
+	}
+	if len(lenient) != len(strict) {
+		t.Fatalf("lenient %d visits, strict %d", len(lenient), len(strict))
+	}
+	for i := range strict {
+		if lenient[i] != strict[i] {
+			t.Errorf("visit %d differs: %+v vs %+v", i, lenient[i], strict[i])
+		}
 	}
 }
 

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"testing"
+
+	"transientbd/internal/simnet"
+)
+
+// fuzzMessages deterministically expands raw fuzz bytes into a message
+// slice. Small value ranges on purpose: hop ids collide (duplicates),
+// directions go invalid, parents dangle — the anomalies lenient assembly
+// exists to survive.
+func fuzzMessages(data []byte) []Message {
+	const stride = 8
+	names := []string{"client", "apache", "tomcat", "mysql"}
+	var msgs []Message
+	for i := 0; i+stride <= len(data) && len(msgs) < 512; i += stride {
+		b := data[i : i+stride]
+		at := int64(b[1])<<8 | int64(b[2])
+		if b[3]&1 == 1 {
+			at -= 1000 // some timestamps land before the epoch
+		}
+		msgs = append(msgs, Message{
+			At:        simnet.Time(at),
+			From:      names[int(b[4])%len(names)],
+			To:        names[int(b[5])%len(names)],
+			Dir:       Direction(b[0] % 4),
+			Class:     "c" + string(rune('a'+b[6]%3)),
+			TxnID:     int64(b[6] % 5),
+			HopID:     int64(b[7]%32) + 1,
+			ParentHop: int64(b[3] % 8),
+		})
+	}
+	return msgs
+}
+
+// FuzzAssemble asserts lenient assembly's contract over arbitrary
+// captures: no panic, every produced visit is causally sane, the report
+// adds up, and — when the report says the capture was clean — strict
+// assembly agrees exactly. RepairSkew must likewise never panic and
+// never break a previously assemblable capture.
+func FuzzAssemble(f *testing.F) {
+	f.Add([]byte{1, 0, 10, 0, 0, 1, 0, 1, 2, 0, 20, 0, 1, 0, 0, 1})
+	f.Add([]byte("arbitrary seed bytes for the corpus........"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msgs := fuzzMessages(data)
+
+		visits, rep := AssembleLenient(msgs, AssembleOptions{InFlightTimeout: 500})
+		if rep.Visits != len(visits) {
+			t.Fatalf("report says %d visits, got %d", rep.Visits, len(visits))
+		}
+		for _, v := range visits {
+			if v.Depart < v.Arrive {
+				t.Fatalf("lenient assembly emitted negative span: %+v", v)
+			}
+		}
+		anomalies := rep.OrphanReturns + rep.DuplicateCalls + rep.DuplicateReturns +
+			rep.InvalidDirection + rep.NegativeSpans
+		if anomalies == 0 {
+			strict, err := Assemble(msgs)
+			if err != nil {
+				t.Fatalf("report clean but strict assembly failed: %v (%+v)", err, rep)
+			}
+			if len(strict) != len(visits) {
+				t.Fatalf("strict %d visits, lenient %d on a clean capture", len(strict), len(visits))
+			}
+			for i := range strict {
+				if strict[i] != visits[i] {
+					t.Fatalf("visit %d differs between strict and lenient on a clean capture", i)
+				}
+			}
+		}
+
+		repaired, srep := RepairSkew(msgs)
+		if len(repaired) != len(msgs) {
+			t.Fatalf("RepairSkew changed message count %d -> %d", len(msgs), len(repaired))
+		}
+		for name, off := range srep.Offsets {
+			if off <= 0 {
+				t.Fatalf("non-positive offset %v for %q", off, name)
+			}
+		}
+		// The repaired capture must still assemble leniently without
+		// panicking; on adversarial (non-uniform-skew) inputs the repair
+		// makes no count guarantees, only causal-sanity ones.
+		rv, _ := AssembleLenient(repaired, AssembleOptions{})
+		for _, v := range rv {
+			if v.Depart < v.Arrive {
+				t.Fatalf("post-repair lenient assembly emitted negative span: %+v", v)
+			}
+		}
+	})
+}

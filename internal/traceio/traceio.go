@@ -10,6 +10,17 @@
 // process ever holding a second full copy of the trace; its memory use is
 // O(batch), independent of trace length.
 //
+// # Degraded inputs
+//
+// Real passive captures are messy: truncated files, half-written final
+// lines, corrupt bytes in the middle. Decoding is line-oriented, so a bad
+// line never poisons the rest of the stream — the reader resumes at the
+// next newline. What happens to the bad line is the caller's choice via
+// StreamOptions.Policy: Strict (fail on the first bad line, the default
+// and the historical behavior) or Skip (count it, optionally aborting
+// after MaxErrors bad lines, and keep going). Every *Opts reader reports
+// a Stats block so callers can surface how much of the input was usable.
+//
 // # Concurrency
 //
 // The free functions are safe to call concurrently on distinct readers
@@ -21,6 +32,7 @@ package traceio
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -82,29 +94,149 @@ func WriteVisits(w io.Writer, visits []trace.Visit) error {
 // cache- and allocation-friendly.
 const DefaultBatch = 8192
 
+// Policy selects what a reader does with a line it cannot use.
+type Policy int
+
+// Line-error policies.
+const (
+	// Strict fails the whole read on the first bad line.
+	Strict Policy = iota
+	// Skip counts bad lines and keeps reading from the next newline.
+	// Combine with StreamOptions.MaxErrors to abort after N bad lines.
+	Skip
+)
+
+// StreamOptions tunes a streaming read.
+type StreamOptions struct {
+	// Policy is the per-line error policy (default Strict).
+	Policy Policy
+	// MaxErrors aborts a Skip-policy read once this many lines have been
+	// skipped (the "a trickle of corruption is fine, a flood is not"
+	// guard). 0 means unlimited.
+	MaxErrors int
+	// BatchSize is the StreamVisits batch size (<= 0 uses DefaultBatch).
+	BatchSize int
+}
+
+// ErrTooManyBadLines aborts a Skip-policy read that exceeded MaxErrors.
+var ErrTooManyBadLines = errors.New("traceio: too many corrupt lines")
+
+// LineError records one unusable input line.
+type LineError struct {
+	// Line is the 1-based line number (blank lines count).
+	Line int
+	// Err says what was wrong with it.
+	Err error
+}
+
+// maxKeptErrors bounds the per-read error detail Stats retains; counters
+// keep counting past it.
+const maxKeptErrors = 8
+
+// Stats summarizes one read of a possibly degraded input.
+type Stats struct {
+	// Lines is the number of non-blank lines seen.
+	Lines int
+	// Decoded is the number of usable records produced.
+	Decoded int
+	// Malformed counts lines that were not valid JSON (including a
+	// truncated final line with no trailing newline).
+	Malformed int
+	// Invalid counts lines that decoded but failed validation (missing
+	// server, departure before arrival, unknown direction).
+	Invalid int
+	// Errors holds the first few line errors, for diagnostics.
+	Errors []LineError
+}
+
+// Skipped is the total number of unusable lines.
+func (s Stats) Skipped() int { return s.Malformed + s.Invalid }
+
+func (s *Stats) record(line int, malformed bool, err error) {
+	if malformed {
+		s.Malformed++
+	} else {
+		s.Invalid++
+	}
+	if len(s.Errors) < maxKeptErrors {
+		s.Errors = append(s.Errors, LineError{Line: line, Err: err})
+	}
+}
+
+// errAbort wraps an error that must stop the read immediately and
+// propagate verbatim (a callback failure), bypassing the line policy.
+type errAbort struct{ err error }
+
+func (e errAbort) Error() string { return e.err.Error() }
+
+// decodeLines drives the shared line-oriented read loop: decode is called
+// with each non-blank line and reports whether the failure (if any) was a
+// malformed line (bad JSON) or an invalid record.
+func decodeLines(r io.Reader, opts StreamOptions, decode func(line int, data []byte) (malformed bool, err error)) (Stats, error) {
+	var stats Stats
+	br := bufio.NewReaderSize(r, 64<<10)
+	for line := 1; ; line++ {
+		data, rerr := br.ReadBytes('\n')
+		trimmed := bytes.TrimSpace(data)
+		if len(trimmed) > 0 {
+			stats.Lines++
+			if malformed, derr := decode(line, trimmed); derr != nil {
+				var abort errAbort
+				if errors.As(derr, &abort) {
+					return stats, abort.err
+				}
+				if opts.Policy == Strict {
+					return stats, fmt.Errorf("traceio: line %d: %w", line, derr)
+				}
+				stats.record(line, malformed, derr)
+				if opts.MaxErrors > 0 && stats.Skipped() > opts.MaxErrors {
+					return stats, fmt.Errorf("%w: %d bad lines (limit %d), first at line %d: %v",
+						ErrTooManyBadLines, stats.Skipped(), opts.MaxErrors, stats.Errors[0].Line, stats.Errors[0].Err)
+				}
+			}
+		}
+		if rerr != nil {
+			if errors.Is(rerr, io.EOF) {
+				return stats, nil
+			}
+			return stats, fmt.Errorf("traceio: read line %d: %w", line, rerr)
+		}
+	}
+}
+
 // StreamVisits reads JSONL visits until EOF, decoding in batches of up to
 // batchSize and passing each batch to fn. The batch slice is reused
 // between calls — fn must not retain it. A non-nil error from fn aborts
 // the stream and is returned verbatim. batchSize <= 0 uses DefaultBatch.
+// Decoding is strict; use StreamVisitsOpts for lenient reads.
 func StreamVisits(r io.Reader, batchSize int, fn func(batch []trace.Visit) error) error {
+	_, err := StreamVisitsOpts(r, StreamOptions{BatchSize: batchSize}, fn)
+	return err
+}
+
+// StreamVisitsOpts is StreamVisits with an explicit error policy. Under
+// Skip, corrupt or invalid lines are counted in the returned Stats and
+// the stream resumes at the next newline; the error is non-nil only when
+// the Skip budget (MaxErrors) is exhausted, the callback fails, or the
+// underlying reader fails. Stats are returned in every case, including
+// on error, so callers can report partial progress.
+func StreamVisitsOpts(r io.Reader, opts StreamOptions, fn func(batch []trace.Visit) error) (Stats, error) {
+	batchSize := opts.BatchSize
 	if batchSize <= 0 {
 		batchSize = DefaultBatch
 	}
-	dec := json.NewDecoder(bufio.NewReader(r))
 	batch := make([]trace.Visit, 0, batchSize)
-	for line := 0; ; line++ {
+	var fnErr error
+	stats, err := decodeLines(r, opts, func(line int, data []byte) (bool, error) {
 		var rec visitRecord
-		if err := dec.Decode(&rec); err != nil {
-			if errors.Is(err, io.EOF) {
-				break
-			}
-			return fmt.Errorf("traceio: read visit line %d: %w", line, err)
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return true, fmt.Errorf("decode visit: %w", err)
 		}
 		if rec.Server == "" {
-			return fmt.Errorf("traceio: visit line %d has no server", line)
+			return false, errors.New("visit has no server")
 		}
 		if rec.DepartUS < rec.ArriveUS {
-			return fmt.Errorf("traceio: visit line %d departs before arriving", line)
+			return false, errors.New("visit departs before arriving")
 		}
 		batch = append(batch, trace.Visit{
 			Server:     rec.Server,
@@ -117,29 +249,46 @@ func StreamVisits(r io.Reader, batchSize int, fn func(batch []trace.Visit) error
 		})
 		if len(batch) == batchSize {
 			if err := fn(batch); err != nil {
-				return err
+				fnErr = err
+				return false, errAbort{err: err}
 			}
 			batch = batch[:0]
 		}
+		return false, nil
+	})
+	stats.Decoded = stats.Lines - stats.Skipped()
+	if fnErr != nil {
+		return stats, fnErr
+	}
+	if err != nil {
+		return stats, err
 	}
 	if len(batch) > 0 {
-		return fn(batch)
+		if err := fn(batch); err != nil {
+			return stats, err
+		}
 	}
-	return nil
+	return stats, nil
 }
 
 // ReadVisits reads JSONL visits until EOF, materializing the whole trace.
 // Prefer StreamVisits when the consumer can fold batches incrementally.
 func ReadVisits(r io.Reader) ([]trace.Visit, error) {
+	out, _, err := ReadVisitsOpts(r, StreamOptions{})
+	return out, err
+}
+
+// ReadVisitsOpts is ReadVisits with an explicit error policy.
+func ReadVisitsOpts(r io.Reader, opts StreamOptions) ([]trace.Visit, Stats, error) {
 	var out []trace.Visit
-	err := StreamVisits(r, 0, func(batch []trace.Visit) error {
+	stats, err := StreamVisitsOpts(r, opts, func(batch []trace.Visit) error {
 		out = append(out, batch...)
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
-	return out, nil
+	return out, stats, nil
 }
 
 // WriteMessages writes wire messages as JSONL.
@@ -166,17 +315,21 @@ func WriteMessages(w io.Writer, msgs []trace.Message) error {
 	return bw.Flush()
 }
 
-// ReadMessages reads JSONL wire messages until EOF.
+// ReadMessages reads JSONL wire messages until EOF. Decoding is strict;
+// use ReadMessagesOpts for lenient reads.
 func ReadMessages(r io.Reader) ([]trace.Message, error) {
+	out, _, err := ReadMessagesOpts(r, StreamOptions{})
+	return out, err
+}
+
+// ReadMessagesOpts reads JSONL wire messages until EOF under the given
+// error policy, reporting what it skipped.
+func ReadMessagesOpts(r io.Reader, opts StreamOptions) ([]trace.Message, Stats, error) {
 	var out []trace.Message
-	dec := json.NewDecoder(bufio.NewReader(r))
-	for line := 0; ; line++ {
+	stats, err := decodeLines(r, opts, func(line int, data []byte) (bool, error) {
 		var rec messageRecord
-		if err := dec.Decode(&rec); err != nil {
-			if errors.Is(err, io.EOF) {
-				break
-			}
-			return nil, fmt.Errorf("traceio: read message line %d: %w", line, err)
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return true, fmt.Errorf("decode message: %w", err)
 		}
 		var dir trace.Direction
 		switch rec.Dir {
@@ -185,7 +338,7 @@ func ReadMessages(r io.Reader) ([]trace.Message, error) {
 		case "return":
 			dir = trace.Return
 		default:
-			return nil, fmt.Errorf("traceio: message line %d has direction %q", line, rec.Dir)
+			return false, fmt.Errorf("message has direction %q", rec.Dir)
 		}
 		out = append(out, trace.Message{
 			At:        simnet.Time(rec.AtUS),
@@ -199,6 +352,11 @@ func ReadMessages(r io.Reader) ([]trace.Message, error) {
 			ParentHop: rec.ParentHop,
 			Bytes:     rec.Bytes,
 		})
+		return false, nil
+	})
+	stats.Decoded = stats.Lines - stats.Skipped()
+	if err != nil {
+		return nil, stats, err
 	}
-	return out, nil
+	return out, stats, nil
 }

@@ -196,3 +196,121 @@ func TestStreamVisitsRejectsMalformed(t *testing.T) {
 		t.Fatal("want error for depart before arrive")
 	}
 }
+
+const (
+	visitLine1 = `{"server":"s","arrive_us":1,"depart_us":2}`
+	visitLine2 = `{"server":"s","arrive_us":3,"depart_us":4}`
+)
+
+func collectOpts(t *testing.T, in string, opts StreamOptions) ([]trace.Visit, Stats, error) {
+	t.Helper()
+	var out []trace.Visit
+	stats, err := StreamVisitsOpts(strings.NewReader(in), opts, func(batch []trace.Visit) error {
+		out = append(out, batch...)
+		return nil
+	})
+	return out, stats, err
+}
+
+// A complete final record with no trailing newline is valid JSONL and
+// must decode under every policy.
+func TestStreamVisitsFinalLineWithoutNewline(t *testing.T) {
+	in := visitLine1 + "\n" + visitLine2 // no trailing \n
+	for _, policy := range []Policy{Strict, Skip} {
+		out, stats, err := collectOpts(t, in, StreamOptions{Policy: policy})
+		if err != nil {
+			t.Fatalf("policy %v: %v", policy, err)
+		}
+		if len(out) != 2 || stats.Decoded != 2 || stats.Skipped() != 0 {
+			t.Errorf("policy %v: decoded %d visits, stats %+v", policy, len(out), stats)
+		}
+	}
+}
+
+// A final line cut off mid-record (a truncated capture file) fails strict
+// mode and is counted, not fatal, in skip mode.
+func TestStreamVisitsTruncatedFinalLine(t *testing.T) {
+	in := visitLine1 + "\n" + `{"server":"s","arr` // truncated, no newline
+	if _, _, err := collectOpts(t, in, StreamOptions{Policy: Strict}); err == nil {
+		t.Error("strict: want error for truncated final line")
+	}
+	out, stats, err := collectOpts(t, in, StreamOptions{Policy: Skip})
+	if err != nil {
+		t.Fatalf("skip: %v", err)
+	}
+	if len(out) != 1 || stats.Malformed != 1 || stats.Decoded != 1 {
+		t.Errorf("skip: visits %d, stats %+v", len(out), stats)
+	}
+}
+
+// A garbage line mid-file must not poison the records after it under the
+// Skip policy; Strict stops at it.
+func TestStreamVisitsMidFileGarbage(t *testing.T) {
+	in := visitLine1 + "\n" + "!!corrupt bytes{{" + "\n" + visitLine2 + "\n"
+	if _, _, err := collectOpts(t, in, StreamOptions{Policy: Strict}); err == nil {
+		t.Error("strict: want error for mid-file garbage")
+	}
+	out, stats, err := collectOpts(t, in, StreamOptions{Policy: Skip})
+	if err != nil {
+		t.Fatalf("skip: %v", err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("skip: decoded %d visits across garbage, want 2", len(out))
+	}
+	if stats.Lines != 3 || stats.Malformed != 1 || stats.Decoded != 2 {
+		t.Errorf("skip: stats %+v", stats)
+	}
+	if len(stats.Errors) != 1 || stats.Errors[0].Line != 2 {
+		t.Errorf("skip: errors %+v, want line 2 recorded", stats.Errors)
+	}
+}
+
+// Decoded-but-invalid records (reversed timestamps, missing server) are
+// quarantined separately from malformed lines.
+func TestStreamVisitsInvalidRecordsCounted(t *testing.T) {
+	in := visitLine1 + "\n" +
+		`{"server":"s","arrive_us":9,"depart_us":1}` + "\n" +
+		`{"arrive_us":1,"depart_us":2}` + "\n"
+	out, stats, err := collectOpts(t, in, StreamOptions{Policy: Skip})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || stats.Invalid != 2 || stats.Malformed != 0 {
+		t.Errorf("visits %d, stats %+v", len(out), stats)
+	}
+}
+
+// MaxErrors turns Skip into abort-after-N.
+func TestStreamVisitsMaxErrors(t *testing.T) {
+	in := "garbage1\ngarbage2\ngarbage3\n" + visitLine1 + "\n"
+	_, stats, err := collectOpts(t, in, StreamOptions{Policy: Skip, MaxErrors: 2})
+	if !errors.Is(err, ErrTooManyBadLines) {
+		t.Fatalf("err = %v, want ErrTooManyBadLines", err)
+	}
+	if stats.Skipped() != 3 {
+		t.Errorf("skipped %d at abort, want 3", stats.Skipped())
+	}
+	// Under the limit it reads through.
+	out, _, err := collectOpts(t, in, StreamOptions{Policy: Skip, MaxErrors: 3})
+	if err != nil || len(out) != 1 {
+		t.Errorf("under limit: visits %d, err %v", len(out), err)
+	}
+}
+
+func TestReadMessagesOptsLenient(t *testing.T) {
+	in := `{"at_us":1,"from":"a","to":"b","dir":"call","hop":1}` + "\n" +
+		"corrupt\n" +
+		`{"at_us":2,"from":"b","to":"a","dir":"sideways","hop":1}` + "\n" +
+		`{"at_us":3,"from":"b","to":"a","dir":"return","hop":1}` + "\n"
+	msgs, stats, err := ReadMessagesOpts(strings.NewReader(in), StreamOptions{Policy: Skip})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 2 || stats.Malformed != 1 || stats.Invalid != 1 {
+		t.Errorf("messages %d, stats %+v", len(msgs), stats)
+	}
+	// Strict still refuses the same input.
+	if _, err := ReadMessages(strings.NewReader(in)); err == nil {
+		t.Error("strict: want error")
+	}
+}
