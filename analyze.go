@@ -455,12 +455,23 @@ func convertAnalysis(a *core.Analysis) *ServerAnalysis {
 		Interval:          simnet.Std(a.Interval),
 		WindowStart:       simnet.Std(simnet.Duration(a.Window.Start)),
 	}
-	poiSet := make(map[int]bool, len(a.POIs))
-	for _, idx := range a.POIs {
+	fillEpisodes(sa, a.States, a.POIs, func(i int) time.Duration {
+		return simnet.Std(simnet.Duration(a.Load.IntervalStart(i)))
+	})
+	return sa
+}
+
+// fillEpisodes collapses consecutive congested intervals into episodes
+// and records freeze (POI) starts — the one report-shaping stage shared
+// by the batch conversion and the streaming snapshot conversion, so the
+// two report surfaces cannot drift. startOf maps an interval index to
+// its start time; sa.Interval must already be set.
+func fillEpisodes(sa *ServerAnalysis, states []core.IntervalState, pois []int, startOf func(int) time.Duration) {
+	poiSet := make(map[int]bool, len(pois))
+	for _, idx := range pois {
 		poiSet[idx] = true
-		sa.POITimes = append(sa.POITimes, simnet.Std(simnet.Duration(a.Load.IntervalStart(idx))))
+		sa.POITimes = append(sa.POITimes, startOf(idx))
 	}
-	// Collapse consecutive congested intervals into episodes.
 	inEpisode := false
 	var ep Episode
 	flush := func() {
@@ -469,14 +480,13 @@ func convertAnalysis(a *core.Analysis) *ServerAnalysis {
 			inEpisode = false
 		}
 	}
-	for i, st := range a.States {
+	for i, st := range states {
 		if st == core.StateCongested {
-			start := simnet.Std(simnet.Duration(a.Load.IntervalStart(i)))
 			if !inEpisode {
 				inEpisode = true
-				ep = Episode{Start: start}
+				ep = Episode{Start: startOf(i)}
 			}
-			ep.Length += simnet.Std(a.Interval)
+			ep.Length += sa.Interval
 			if poiSet[i] {
 				ep.Freeze = true
 			}
@@ -485,7 +495,6 @@ func convertAnalysis(a *core.Analysis) *ServerAnalysis {
 		}
 	}
 	flush()
-	return sa
 }
 
 // sortRanking orders a ranking worst-first: congested fraction

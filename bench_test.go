@@ -21,6 +21,7 @@ import (
 	"transientbd/internal/experiments"
 	"transientbd/internal/mva"
 	"transientbd/internal/simnet"
+	"transientbd/internal/stream"
 	"transientbd/internal/trace"
 )
 
@@ -302,6 +303,47 @@ func BenchmarkOnlineDetector(b *testing.B) {
 		d.Advance(recs[len(recs)-1].Depart)
 	}
 }
+
+// benchStreamShards measures end-to-end ingest throughput of the sharded
+// online runtime: one op observes the whole departure-ordered stream,
+// closes every interval, and drains the merged alert stream. The same
+// workload backs `experiments bench -online`, which writes the numbers
+// to BENCH_online.json (see PERFORMANCE.md); wall-clock speedup tracks
+// min(servers, GOMAXPROCS, shards).
+func benchStreamShards(b *testing.B, shards int) {
+	const records = 100000
+	visits := cli.BenchVisitStream(records, 8, 3, 1)
+	cfg := stream.Config{
+		Online: core.OnlineOptions{Options: core.Options{Interval: 50 * simnet.Millisecond}},
+		Shards: shards,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt, err := stream.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for range rt.Alerts() {
+			}
+		}()
+		for j := range visits {
+			if err := rt.Observe(visits[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		rt.Close()
+		<-done
+	}
+	b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+func BenchmarkStreamShards1(b *testing.B) { benchStreamShards(b, 1) }
+func BenchmarkStreamShards4(b *testing.B) { benchStreamShards(b, 4) }
+func BenchmarkStreamShards8(b *testing.B) { benchStreamShards(b, 8) }
 
 // BenchmarkChooseInterval measures the §III-D automatic interval scorer.
 func BenchmarkChooseInterval(b *testing.B) {

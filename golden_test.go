@@ -1,0 +1,105 @@
+package transientbd
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"transientbd/internal/simnet"
+	"transientbd/internal/traceio"
+)
+
+// The golden-report regression test: examples/golden/trace.jsonl is a
+// canned three-tier trace (steady background load plus three bursts at
+// the app tier, the last a freeze) and report.json is the full Report the
+// pipeline must produce for it, diffed byte-for-byte. Any change to load
+// accounting, N* estimation, classification or ranking shows up as a
+// golden diff — making estimator drift a deliberate, reviewed update
+// instead of a silent one:
+//
+//	go test -run TestGoldenReport -update .
+var updateGolden = flag.Bool("update", false, "rewrite examples/golden/report.json from the current pipeline output")
+
+// goldenConfig pins every default the report depends on, so the golden
+// file does not shift when defaults evolve — that kind of change should
+// show up as an explicit config edit here plus a golden update.
+func goldenConfig() Config {
+	return Config{
+		Interval:    50 * time.Millisecond,
+		Bins:        100,
+		TolFraction: 0.2,
+		POIFraction: 0.2,
+		ServiceTimes: map[string]time.Duration{
+			"small": 20 * time.Millisecond,
+			"mid":   40 * time.Millisecond,
+			"big":   80 * time.Millisecond,
+		},
+		Parallelism: 1,
+	}
+}
+
+func TestGoldenReport(t *testing.T) {
+	tracePath := filepath.Join("examples", "golden", "trace.jsonl")
+	reportPath := filepath.Join("examples", "golden", "report.json")
+
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatalf("open golden trace: %v", err)
+	}
+	defer f.Close()
+	visits, err := traceio.ReadVisits(f)
+	if err != nil {
+		t.Fatalf("read golden trace: %v", err)
+	}
+	records := make([]Record, len(visits))
+	for i, v := range visits {
+		records[i] = Record{
+			Server:         v.Server,
+			Class:          v.Class,
+			Arrive:         simnet.Std(simnet.Duration(v.Arrive)),
+			Depart:         simnet.Std(simnet.Duration(v.Depart)),
+			DownstreamWait: simnet.Std(v.Downstream),
+		}
+	}
+
+	report, err := Analyze(records, goldenConfig())
+	if err != nil {
+		t.Fatalf("analyze golden trace: %v", err)
+	}
+	got, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal report: %v", err)
+	}
+	got = append(got, '\n')
+
+	if *updateGolden {
+		if err := os.WriteFile(reportPath, got, 0o644); err != nil {
+			t.Fatalf("update golden report: %v", err)
+		}
+		t.Logf("golden report rewritten: %s (%d bytes)", reportPath, len(got))
+		return
+	}
+
+	want, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatalf("read golden report (run with -update to create it): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		line := 1
+		for i := 0; i < len(got) && i < len(want); i++ {
+			if got[i] != want[i] {
+				break
+			}
+			if got[i] == '\n' {
+				line++
+			}
+		}
+		t.Fatalf("report diverges from golden at line ~%d (got %d bytes, want %d).\n"+
+			"If the change is intentional, rerun with: go test -run TestGoldenReport -update .",
+			line, len(got), len(want))
+	}
+}

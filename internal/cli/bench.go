@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -14,6 +15,7 @@ import (
 
 	"transientbd/internal/core"
 	"transientbd/internal/simnet"
+	"transientbd/internal/stream"
 	"transientbd/internal/trace"
 )
 
@@ -45,8 +47,11 @@ type benchReport struct {
 
 // ExperimentsBench measures the parallel analysis pipeline over a
 // synthetic multi-server bursty trace at each requested worker count and
-// writes the results as BENCH_analyze.json. The trace is deterministic
-// (seeded), so runs are comparable across commits on the same hardware.
+// writes the results as BENCH_analyze.json. With -online it instead
+// measures ingest through the sharded streaming runtime at each
+// requested shard count and writes BENCH_online.json. The trace is
+// deterministic (seeded), so runs are comparable across commits on the
+// same hardware.
 func ExperimentsBench(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("experiments bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -58,23 +63,30 @@ func ExperimentsBench(args []string, stdout, stderr io.Writer) error {
 		workers  = fs.String("workers", "1,2,4,8", "comma-separated worker counts to measure")
 		out      = fs.String("out", "BENCH_analyze.json", "output path (- for stdout)")
 		interval = fs.Duration("interval", 50*time.Millisecond, "monitoring interval")
+		online   = fs.Bool("online", false, "benchmark the sharded streaming runtime instead of the batch pipeline")
+		shards   = fs.String("shards", "1,4,8", "with -online: comma-separated shard counts to measure")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	var counts []int
-	for _, part := range strings.Split(*workers, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || n < 1 {
-			return fmt.Errorf("experiments bench: bad -workers entry %q", part)
-		}
-		counts = append(counts, n)
-	}
-	if len(counts) == 0 {
-		return fmt.Errorf("experiments bench: -workers is empty")
-	}
 	if *records < *servers {
 		return fmt.Errorf("experiments bench: need at least one record per server")
+	}
+	if *online {
+		counts, err := parseCounts(*shards, "-shards")
+		if err != nil {
+			return err
+		}
+		// The default output name tracks the benchmark being run; an
+		// explicit -out always wins.
+		if *out == "BENCH_analyze.json" {
+			*out = "BENCH_online.json"
+		}
+		return benchOnline(counts, *records, *servers, *classes, *seed, *interval, *out, stdout, stderr)
+	}
+	counts, err := parseCounts(*workers, "-workers")
+	if err != nil {
+		return err
 	}
 
 	perServer, w := BenchVisits(*records, *servers, *classes, *seed)
@@ -133,6 +145,156 @@ func ExperimentsBench(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stderr, "bench: wrote %s\n", *out)
 	return nil
+}
+
+// parseCounts parses a comma-separated list of positive integers (the
+// -workers and -shards flag values).
+func parseCounts(list, flagName string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(list, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("experiments bench: bad %s entry %q", flagName, part)
+		}
+		counts = append(counts, n)
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("experiments bench: %s is empty", flagName)
+	}
+	return counts, nil
+}
+
+// onlineBenchResult is one row of BENCH_online.json: the measured ingest
+// cost of the sharded streaming runtime at one shard count. One op is
+// the whole stream: Observe every record, close every interval, merge
+// every alert.
+type onlineBenchResult struct {
+	Shards          int     `json:"shards"`
+	NsPerOp         int64   `json:"ns_per_op"`
+	RecordsPerSec   float64 `json:"records_per_sec"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+	BytesPerOp      int64   `json:"bytes_per_op"`
+	SpeedupVsSingle float64 `json:"speedup_vs_single"`
+}
+
+// onlineBenchReport is the BENCH_online.json schema — the perf
+// trajectory point for the streaming path, sibling to BENCH_analyze.json
+// for the batch path. PERFORMANCE.md documents how to read it.
+type onlineBenchReport struct {
+	Benchmark  string              `json:"benchmark"`
+	Records    int                 `json:"records"`
+	Servers    int                 `json:"servers"`
+	Classes    int                 `json:"classes"`
+	IntervalMS int64               `json:"interval_ms"`
+	Seed       int64               `json:"seed"`
+	NumCPU     int                 `json:"num_cpu"`
+	GoMaxProcs int                 `json:"gomaxprocs"`
+	GoVersion  string              `json:"go_version"`
+	Results    []onlineBenchResult `json:"results"`
+}
+
+// benchOnline measures ingest throughput of the sharded online runtime
+// (stream.Runtime) at each requested shard count over the same
+// deterministic workload as the batch bench, flattened into
+// departure order as a passive tracer would deliver it.
+func benchOnline(counts []int, records, servers, classes int, seed int64, interval time.Duration, out string, stdout, stderr io.Writer) error {
+	visits := BenchVisitStream(records, servers, classes, seed)
+	iv := simnet.FromStdDuration(interval)
+
+	report := onlineBenchReport{
+		Benchmark:  "stream.Runtime ingest",
+		Records:    records,
+		Servers:    servers,
+		Classes:    classes,
+		IntervalMS: int64(interval / time.Millisecond),
+		Seed:       seed,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+	var singleNs int64
+	for _, n := range counts {
+		cfg := stream.Config{
+			Online: core.OnlineOptions{Options: core.Options{Interval: iv}},
+			Shards: n,
+		}
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rt, err := stream.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					for range rt.Alerts() {
+					}
+				}()
+				for j := range visits {
+					if err := rt.Observe(visits[j]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				rt.Close()
+				<-done
+			}
+		})
+		row := onlineBenchResult{
+			Shards:      n,
+			NsPerOp:     res.NsPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		}
+		if row.NsPerOp > 0 {
+			row.RecordsPerSec = float64(records) / (float64(row.NsPerOp) / 1e9)
+		}
+		if n == 1 {
+			singleNs = row.NsPerOp
+		}
+		if singleNs > 0 {
+			row.SpeedupVsSingle = float64(singleNs) / float64(row.NsPerOp)
+		}
+		report.Results = append(report.Results, row)
+		fmt.Fprintf(stderr, "bench: shards=%d  %d ns/op  %.0f records/s  speedup %.2fx\n",
+			n, row.NsPerOp, row.RecordsPerSec, row.SpeedupVsSingle)
+	}
+
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return fmt.Errorf("experiments bench: %w", err)
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		_, err = stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return fmt.Errorf("experiments bench: %w", err)
+	}
+	fmt.Fprintf(stderr, "bench: wrote %s\n", out)
+	return nil
+}
+
+// BenchVisitStream flattens the BenchVisits workload into the single
+// departure-ordered stream the online benchmarks ingest — the order a
+// passive tracer's collector would deliver, so the runtime's watermark
+// never marks a record late. Shared with bench_test.go so
+// `go test -bench StreamShards` and `experiments bench -online` measure
+// the same workload.
+func BenchVisitStream(n, s, c int, seed int64) []trace.Visit {
+	perServer, _ := BenchVisits(n, s, c, seed)
+	var all []trace.Visit
+	for _, vs := range perServer {
+		all = append(all, vs...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Depart != all[j].Depart {
+			return all[i].Depart < all[j].Depart
+		}
+		return all[i].Server < all[j].Server
+	})
+	return all
 }
 
 // BenchVisits generates the deterministic multi-server bursty trace the

@@ -416,6 +416,109 @@ func TestExperimentsBench(t *testing.T) {
 	}
 }
 
+func TestExperimentsBenchOnline(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_online.json")
+	var stdout, stderr bytes.Buffer
+	err := Experiments([]string{
+		"bench", "-online", "-records", "20000", "-servers", "4",
+		"-shards", "1,2", "-out", out,
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Benchmark string `json:"benchmark"`
+		Servers   int    `json:"servers"`
+		Results   []struct {
+			Shards          int     `json:"shards"`
+			NsPerOp         int64   `json:"ns_per_op"`
+			RecordsPerSec   float64 `json:"records_per_sec"`
+			SpeedupVsSingle float64 `json:"speedup_vs_single"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("BENCH_online.json does not parse: %v", err)
+	}
+	if report.Benchmark == "" || report.Servers != 4 {
+		t.Errorf("bad report header: %+v", report)
+	}
+	if len(report.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(report.Results))
+	}
+	for _, r := range report.Results {
+		if r.NsPerOp <= 0 || r.RecordsPerSec <= 0 || r.SpeedupVsSingle <= 0 {
+			t.Errorf("shards=%d: non-positive measurements: %+v", r.Shards, r)
+		}
+	}
+	if report.Results[0].Shards != 1 || report.Results[0].SpeedupVsSingle != 1 {
+		t.Errorf("single-shard row must lead with speedup 1: %+v", report.Results[0])
+	}
+	// Bad shard lists error cleanly.
+	if err := Experiments([]string{"bench", "-online", "-shards", "none"}, &stdout, &stderr); err == nil {
+		t.Error("want error for malformed -shards")
+	}
+}
+
+// TestFollowMode pipes a simulated trace through tbdetect's online mode
+// end to end: congestion alerts must stream out, the final ranked
+// snapshot must print, and -selfmetrics must account for every record.
+func TestFollowMode(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "visits.jsonl")
+	var simOut, simErr bytes.Buffer
+	if err := NtierSim([]string{
+		"-users", "3000", "-duration", "15s", "-ramp", "3s",
+		"-speedstep", "-seed", "7", "-out", out,
+	}, &simOut, &simErr); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if err := TBDetect([]string{
+		"-in", out, "-follow", "-shards", "4", "-selfmetrics",
+	}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	got := stdout.String()
+	if !strings.Contains(got, "ALERT") {
+		t.Errorf("no ALERT lines in follow output:\n%s", got)
+	}
+	if !strings.Contains(got, "final snapshot") {
+		t.Errorf("no final snapshot in follow output:\n%s", got)
+	}
+	if !strings.Contains(got, "most frequent transient bottleneck") {
+		t.Errorf("no bottleneck verdict in follow output:\n%s", got)
+	}
+	metrics := stderr.String()
+	for _, want := range []string{"records ingested", "intervals closed", "queue depth per shard", "ingest rate"} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("self-metrics block missing %q:\n%s", want, metrics)
+		}
+	}
+	if !strings.Contains(metrics, "records dropped        0") ||
+		!strings.Contains(metrics, "records late           0") {
+		t.Errorf("drops or late records on an ordered file replay:\n%s", metrics)
+	}
+
+	// Alerts and the snapshot are shard-count invariant on the same trace.
+	var one, oneErr bytes.Buffer
+	if err := TBDetect([]string{"-in", out, "-follow", "-shards", "1"}, &one, &oneErr); err != nil {
+		t.Fatal(err)
+	}
+	if one.String() != got {
+		t.Errorf("-shards 1 output differs from -shards 4:\n%s\nvs\n%s", one.String(), got)
+	}
+
+	// Follow mode reads visit JSONL only; wire captures are rejected.
+	if err := TBDetect([]string{"-in", out, "-follow", "-wire"}, &stdout, &stderr); err == nil {
+		t.Error("want error for -follow -wire")
+	}
+}
+
 // usageFlags extracts the registered flag names from a FlagSet usage dump
 // (the tool's -h output).
 func usageFlags(t *testing.T, run func(args []string, stdout, stderr io.Writer) error, args ...string) []string {

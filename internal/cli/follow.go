@@ -1,0 +1,141 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"transientbd/internal/core"
+	"transientbd/internal/simnet"
+	"transientbd/internal/stream"
+	"transientbd/internal/trace"
+	"transientbd/internal/traceio"
+)
+
+// followOpts carries the tbdetect flags the follow mode consumes.
+type followOpts struct {
+	interval time.Duration
+	window   time.Duration
+	flushLag time.Duration
+	shards   int
+	raw      bool
+	lenient  bool
+	metrics  bool
+	top      int
+}
+
+// runFollow is tbdetect's online mode: it feeds the visit stream through
+// the sharded detection runtime as it is read, prints congestion alerts
+// the moment their interval closes, and finishes with the ranked
+// bottleneck snapshot over the final sliding window. Unlike the batch
+// path it never materializes the trace: memory is bounded by the window,
+// whatever the stream length.
+func runFollow(r io.Reader, stdout, stderr io.Writer, opts followOpts) error {
+	windowIntervals := int(opts.window / opts.interval)
+	rt, err := stream.New(stream.Config{
+		Online: core.OnlineOptions{
+			Options: core.Options{
+				Interval:      simnet.FromStdDuration(opts.interval),
+				RawThroughput: opts.raw,
+			},
+			WindowIntervals: windowIntervals,
+		},
+		Shards:   opts.shards,
+		FlushLag: simnet.FromStdDuration(opts.flushLag),
+	})
+	if err != nil {
+		return fmt.Errorf("tbdetect: %w", err)
+	}
+
+	// Alert printer: the single consumer of the merged stream. Idle and
+	// normal closures stay silent; congested intervals print as they
+	// close, freezes flagged.
+	var alerts, freezes int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for a := range rt.Alerts() {
+			if a.State != core.StateCongested {
+				continue
+			}
+			alerts++
+			verdict := "CONGESTED"
+			if a.POI {
+				freezes++
+				verdict = "FREEZE"
+			}
+			fmt.Fprintf(stdout, "ALERT %10v  %-12s  load=%-8.1f tp=%-8.0f %s\n",
+				simnet.Std(simnet.Duration(a.At)), a.Server, a.Load, a.TP, verdict)
+		}
+	}()
+
+	start := time.Now()
+	ioOpts := traceio.StreamOptions{Policy: traceio.Strict}
+	if opts.lenient {
+		ioOpts.Policy = traceio.Skip
+	}
+	var invalid int64
+	stats, err := traceio.StreamVisitsOpts(r, ioOpts, func(batch []trace.Visit) error {
+		for i := range batch {
+			if oerr := rt.Observe(batch[i]); oerr != nil {
+				if opts.lenient {
+					invalid++
+					continue
+				}
+				return oerr
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		rt.Close()
+		<-done
+		return err
+	}
+
+	snap := rt.Close()
+	<-done
+	elapsed := time.Since(start)
+
+	fmt.Fprintf(stdout, "\nfollow: %d congestion alerts (%d freezes) from %d closed intervals\n",
+		alerts, freezes, snap.Metrics.IntervalsClosed)
+	if len(snap.Ranking) == 0 {
+		fmt.Fprintln(stdout, "tbdetect: no intervals closed; nothing to rank")
+	} else {
+		fmt.Fprintf(stdout, "\nfinal snapshot (watermark %v, window %v):\n",
+			simnet.Std(simnet.Duration(snap.At)), opts.window)
+		fmt.Fprintf(stdout, "%-12s  %8s  %12s  %10s  %6s\n",
+			"SERVER", "N*", "TPMAX(u/s)", "CONGESTED", "POIs")
+		count := 0
+		for _, ss := range snap.Ranking {
+			if opts.top > 0 && count >= opts.top {
+				break
+			}
+			count++
+			fmt.Fprintf(stdout, "%-12s  %8.1f  %12.0f  %9.1f%%  %6d\n",
+				ss.Server, ss.NStar.NStar, ss.NStar.TPMax,
+				100*ss.CongestedFraction, len(ss.POIs))
+		}
+		worst := snap.Ranking[0]
+		if worst.CongestedFraction > 0 {
+			fmt.Fprintf(stdout, "\nmost frequent transient bottleneck: %s (congested %.1f%% of window intervals)\n",
+				worst.Server, 100*worst.CongestedFraction)
+		} else {
+			fmt.Fprintln(stdout, "\nno transient bottlenecks detected")
+		}
+	}
+
+	if opts.metrics {
+		m := snap.Metrics
+		fmt.Fprint(stderr, m.String())
+		secs := elapsed.Seconds()
+		if secs > 0 {
+			fmt.Fprintf(stderr, "  ingest rate             %.0f records/s (wall)\n", float64(m.Ingested)/secs)
+		}
+		if opts.lenient && (stats.Malformed > 0 || invalid > 0) {
+			fmt.Fprintf(stderr, "  lines skipped           %d malformed, %d invalid visits\n",
+				stats.Malformed, invalid)
+		}
+	}
+	return nil
+}

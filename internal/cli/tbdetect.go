@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"transientbd/internal/core"
@@ -35,6 +36,11 @@ func TBDetect(args []string, stdout, stderr io.Writer) error {
 		lenient  = fs.Bool("lenient", false, "survive degraded traces: skip corrupt lines, quarantine anomalous hops, repair clock skew")
 		quality  = fs.Bool("quality", false, "print the trace-quality block (lines skipped, visits quarantined, skew repairs)")
 		inflight = fs.Duration("inflight", 0, "with -wire -lenient: count unterminated visits older than this as timed out rather than in flight (0 = off)")
+		follow   = fs.Bool("follow", false, "online mode: stream visits through the sharded runtime, print alerts as intervals close")
+		shards   = fs.Int("shards", 0, "with -follow: shard goroutines records are hash-partitioned across (0 = GOMAXPROCS)")
+		window   = fs.Duration("window", 2*time.Minute, "with -follow: sliding window N* is estimated over")
+		flushlag = fs.Duration("flushlag", time.Second, "with -follow: how far interval closing trails the newest departure (must exceed max residence)")
+		metrics  = fs.Bool("selfmetrics", false, "with -follow: print the runtime self-metrics block (records/s, queue depths, drops) to stderr at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -48,6 +54,25 @@ func TBDetect(args []string, stdout, stderr io.Writer) error {
 		}
 		defer f.Close()
 		r = f
+	}
+	if *follow {
+		if *wire {
+			return fmt.Errorf("tbdetect: -follow reads visit JSONL; assemble wire captures offline first")
+		}
+		nshards := *shards
+		if nshards <= 0 {
+			nshards = runtime.GOMAXPROCS(0)
+		}
+		return runFollow(r, stdout, stderr, followOpts{
+			interval: *interval,
+			window:   *window,
+			flushLag: *flushlag,
+			shards:   nshards,
+			raw:      *raw,
+			lenient:  *lenient,
+			metrics:  *metrics,
+			top:      *top,
+		})
 	}
 	// Ingest straight into the per-server grouping the analysis needs.
 	// The strict visit path streams in bounded batches, so the only

@@ -180,9 +180,49 @@ func AnalyzeServer(serverName string, visits []trace.Visit, svc ServiceTimes, w 
 		}
 	}
 
-	pts, err := CorrelatePoints(load.Values(), tp.Values())
+	cls, err := classifySeries(load.Values(), tp.Values(), opts)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: estimate N* for %q: %w", serverName, err)
+	}
+
+	a := &Analysis{
+		Server:             serverName,
+		Window:             w,
+		Interval:           opts.Interval,
+		Load:               load,
+		TP:                 tp,
+		RawTP:              rawTP,
+		ServiceTimes:       svc,
+		Unit:               unit,
+		NStar:              cls.NStar,
+		States:             cls.States,
+		POIs:               cls.POIs,
+		CongestedIntervals: cls.CongestedIntervals,
+		CongestedFraction:  cls.CongestedFraction,
+	}
+	return a, nil
+}
+
+// classification is the output of classifySeries: the congestion point and
+// the per-interval verdicts derived from it.
+type classification struct {
+	NStar              NStarResult
+	States             []IntervalState
+	POIs               []int
+	CongestedIntervals int
+	CongestedFraction  float64
+}
+
+// classifySeries runs congestion-point estimation and per-interval
+// classification over aligned load/throughput series. It is the single
+// shared decision stage behind both the batch path (AnalyzeServer) and the
+// streaming snapshot path (Online.Snapshot): because both call exactly
+// this function over their measured series, their verdicts cannot drift
+// apart — the property the stream equivalence harness pins down.
+func classifySeries(load, tp []float64, opts Options) (classification, error) {
+	pts, err := CorrelatePoints(load, tp)
+	if err != nil {
+		return classification{}, err
 	}
 	nstar, err := EstimateNStar(pts, opts.NStar)
 	switch {
@@ -198,7 +238,7 @@ func AnalyzeServer(serverName string, visits []trace.Visit, svc ServiceTimes, w 
 		}
 		nstar = NStarResult{NStar: maxLoad}
 	case err != nil:
-		return nil, fmt.Errorf("core: estimate N* for %q: %w", serverName, err)
+		return classification{}, err
 	}
 	if math.IsNaN(nstar.NStar) || math.IsInf(nstar.NStar, 0) {
 		// A degenerate curve (degraded trace, near-empty intervals) can
@@ -214,41 +254,33 @@ func AnalyzeServer(serverName string, visits []trace.Visit, svc ServiceTimes, w 
 		nstar.Saturated = false
 	}
 
-	a := &Analysis{
-		Server:       serverName,
-		Window:       w,
-		Interval:     opts.Interval,
-		Load:         load,
-		TP:           tp,
-		RawTP:        rawTP,
-		ServiceTimes: svc,
-		Unit:         unit,
-		NStar:        nstar,
+	cls := classification{
+		NStar:  nstar,
+		States: make([]IntervalState, len(load)),
 	}
-	a.States = make([]IntervalState, load.Len())
-	for i := 0; i < load.Len(); i++ {
-		l := load.Value(i)
+	for i := range load {
+		l := load[i]
 		switch {
 		case math.IsNaN(l):
 			// A NaN load (empty or degenerate interval) compares false
 			// against everything; classify it as idle, not normal.
-			a.States[i] = StateIdle
+			cls.States[i] = StateIdle
 		case l < opts.MinIdleLoad:
-			a.States[i] = StateIdle
+			cls.States[i] = StateIdle
 		case l > nstar.NStar:
-			a.States[i] = StateCongested
-			a.CongestedIntervals++
-			if tp.Value(i) < opts.POIFraction*nstar.TPMax {
-				a.POIs = append(a.POIs, i)
+			cls.States[i] = StateCongested
+			cls.CongestedIntervals++
+			if tp[i] < opts.POIFraction*nstar.TPMax {
+				cls.POIs = append(cls.POIs, i)
 			}
 		default:
-			a.States[i] = StateNormal
+			cls.States[i] = StateNormal
 		}
 	}
-	if load.Len() > 0 {
-		a.CongestedFraction = float64(a.CongestedIntervals) / float64(load.Len())
+	if len(load) > 0 {
+		cls.CongestedFraction = float64(cls.CongestedIntervals) / float64(len(load))
 	}
-	return a, nil
+	return cls, nil
 }
 
 // ServerReport summarizes one server for ranking.

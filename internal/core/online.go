@@ -37,8 +37,14 @@ type Online struct {
 	reservoirs   map[string]*reservoir
 	reservoirCap int
 
-	nstar    NStarResult
-	hasNStar bool
+	nstar       NStarResult
+	hasNStar    bool
+	reestimates int64
+
+	// fixedSvc, when non-nil, is a calibrated service-time table supplied
+	// at construction: normalization uses it verbatim and the reservoirs
+	// stay empty, exactly mirroring a batch pass with the same table.
+	fixedSvc ServiceTimes
 
 	// Cached normalization inputs, refreshed every svcRefresh
 	// observations: recomputing the per-class percentile table on every
@@ -73,6 +79,12 @@ type OnlineOptions struct {
 	// ReservoirSize bounds per-class service-time memory (the most
 	// recent samples are kept). Default 256.
 	ReservoirSize int
+	// ServiceTimes, when non-nil, is a calibrated per-class service-time
+	// table (the paper's low-load calibration pass). Normalization then
+	// uses it verbatim instead of the drifting reservoir estimate, which
+	// is what makes a streaming run bit-identical to a batch pass fed the
+	// same table. Ignored under Options.RawThroughput.
+	ServiceTimes ServiceTimes
 }
 
 // reservoir keeps the most recent intra-node delays for one class, so the
@@ -121,6 +133,9 @@ func NewOnline(start simnet.Time, opts OnlineOptions) (*Online, error) {
 		reservoirs: make(map[string]*reservoir),
 	}
 	o.reservoirCap = opts.ReservoirSize
+	if len(opts.ServiceTimes) > 0 {
+		o.fixedSvc = opts.ServiceTimes
+	}
 	for i := range o.ringIdx {
 		o.ringIdx[i] = -1
 	}
@@ -133,14 +148,18 @@ func (o *Online) Observe(v trace.Visit) {
 	if v.Depart < v.Arrive {
 		return
 	}
-	// Service-time reservoir.
-	res := o.reservoirs[v.Class]
-	if res == nil {
-		res = &reservoir{cap: o.reservoirCap}
-		o.reservoirs[v.Class] = res
+	// Service-time reservoir — skipped when a calibrated table was
+	// supplied (normalization is fixed) or under raw throughput (no
+	// normalization at all).
+	if o.fixedSvc == nil && !o.opts.RawThroughput {
+		res := o.reservoirs[v.Class]
+		if res == nil {
+			res = &reservoir{cap: o.reservoirCap}
+			o.reservoirs[v.Class] = res
+		}
+		res.add(float64(v.IntraNodeDelay()))
+		o.sinceSvc++
 	}
-	res.add(float64(v.IntraNodeDelay()))
-	o.sinceSvc++
 
 	iv := o.opts.Interval
 	// Distribute residence across intervals (time-weighted load).
@@ -163,10 +182,16 @@ func (o *Online) Observe(v trace.Visit) {
 			o.add(n, float64(hi-lo), 0)
 		}
 	}
-	// Completion units at the departure interval.
+	// Completion units at the departure interval: one raw request, or its
+	// class's work-unit count — the same accounting as ThroughputSeries /
+	// NormalizedThroughputSeries in the batch path.
 	if last >= 0 {
-		svc, unit := o.normalization()
-		o.add(last, 0, svc.Units(v.Class, unit))
+		if o.opts.RawThroughput {
+			o.add(last, 0, 1)
+		} else {
+			svc, unit := o.normalization()
+			o.add(last, 0, svc.Units(v.Class, unit))
+		}
 	}
 }
 
@@ -175,7 +200,18 @@ func (o *Online) Observe(v trace.Visit) {
 const svcRefresh = 1024
 
 // normalization returns the (cached) service table and work-unit size.
+// With a calibrated table the cache is computed once and never refreshed.
 func (o *Online) normalization() (ServiceTimes, simnet.Duration) {
+	if o.fixedSvc != nil {
+		if o.cachedSvc == nil {
+			o.cachedSvc = o.fixedSvc
+			o.cachedUnit = o.opts.WorkUnit
+			if o.cachedUnit <= 0 {
+				o.cachedUnit = WorkUnit(o.cachedSvc)
+			}
+		}
+		return o.cachedSvc, o.cachedUnit
+	}
 	if o.cachedSvc == nil || o.sinceSvc >= svcRefresh {
 		o.cachedSvc = o.serviceTable()
 		o.cachedUnit = 100 * simnet.Microsecond
@@ -236,9 +272,23 @@ func (o *Online) serviceTable() ServiceTimes {
 // Advance closes every interval that ends at or before now and returns
 // their classifications in order. Call it periodically (e.g. once per
 // interval) with the tracer's clock.
+//
+// Advance is bounded: when now jumps more than a window's worth of
+// intervals ahead of the last closure (a feed catching up after a stall,
+// or a hostile far-future timestamp), the intervals that have already
+// fallen out of the sliding window are summarily closed without a report
+// — the ring has no memory of them, and emitting billions of idle alerts
+// would turn one bad timestamp into a denial of service. At most
+// WindowIntervals alerts are returned per call.
 func (o *Online) Advance(now simnet.Time) []Alert {
 	var alerts []Alert
 	iv := o.opts.Interval
+	if now > o.start {
+		target := int64((now - o.start) / iv)
+		if target-o.closed > int64(o.window) {
+			o.closed = target - int64(o.window)
+		}
+	}
 	for {
 		end := o.start + simnet.Time(o.closed+1)*iv
 		if end > now {
@@ -289,10 +339,87 @@ func (o *Online) reestimate() {
 	}
 	o.nstar = res
 	o.hasNStar = true
+	o.reestimates++
 }
 
 // NStar returns the current congestion-point estimate and whether one has
 // been computed yet.
 func (o *Online) NStar() (NStarResult, bool) {
 	return o.nstar, o.hasNStar
+}
+
+// Reestimates reports how many times N* has been refreshed so far.
+func (o *Online) Reestimates() int64 { return o.reestimates }
+
+// IntervalsClosed reports how many intervals Advance has closed so far.
+func (o *Online) IntervalsClosed() int64 { return o.closed }
+
+// OnlineSnapshot is a batch-equivalent analysis of the intervals currently
+// held in an Online's sliding window: the same measurements the live
+// alerts were built from, reclassified with an N* estimated from the full
+// window — exactly what AnalyzeServer would report over those intervals.
+type OnlineSnapshot struct {
+	// Start is the start time of the first covered interval; Interval is
+	// the grid width.
+	Start    simnet.Time
+	Interval simnet.Duration
+	// Load and TP are the per-interval series over the covered range.
+	Load, TP []float64
+	// NStar is the congestion point estimated from the covered intervals.
+	NStar NStarResult
+	// States classifies every covered interval; POIs indexes congested
+	// intervals with near-zero throughput (offsets into States).
+	States []IntervalState
+	POIs   []int
+	// CongestedIntervals and CongestedFraction summarize the range.
+	CongestedIntervals int
+	CongestedFraction  float64
+}
+
+// Snapshot reclassifies every closed interval still inside the sliding
+// window using an N* estimated from all of them at once — the batch
+// decision procedure applied to the window's contents. When the window
+// still covers the whole stream, the result is bit-identical to what
+// AnalyzeServer computes over the same visits (same load splitting, same
+// unit accounting, same estimator, same classification switch — the last
+// three literally shared via classifySeries), independent of ingestion
+// order. This is the authoritative per-interval verdict surface; the live
+// Advance alerts are the provisional real-time view.
+//
+// Snapshot returns nil until at least one interval has closed.
+func (o *Online) Snapshot() *OnlineSnapshot {
+	lo := o.closed - int64(o.window)
+	if lo < 0 {
+		lo = 0
+	}
+	n := int(o.closed - lo)
+	if n <= 0 {
+		return nil
+	}
+	iv := o.opts.Interval
+	load := make([]float64, n)
+	tp := make([]float64, n)
+	for i := 0; i < n; i++ {
+		abs := lo + int64(i)
+		slot := int(abs % int64(o.window))
+		if o.ringIdx[slot] == abs {
+			load[i] = o.loadTime[slot] / float64(iv)
+			tp[i] = o.units[slot] / iv.Seconds()
+		}
+	}
+	cls, err := classifySeries(load, tp, o.opts)
+	if err != nil {
+		return nil // unreachable: the series have equal lengths by construction
+	}
+	return &OnlineSnapshot{
+		Start:              o.start + simnet.Time(lo)*iv,
+		Interval:           iv,
+		Load:               load,
+		TP:                 tp,
+		NStar:              cls.NStar,
+		States:             cls.States,
+		POIs:               cls.POIs,
+		CongestedIntervals: cls.CongestedIntervals,
+		CongestedFraction:  cls.CongestedFraction,
+	}
 }

@@ -1,0 +1,553 @@
+// Package stream is the sharded online detection runtime: the deployment
+// shape of the paper's method when the detector is attached to a live
+// passive-tracing feed instead of a batch trace file.
+//
+// Records are hash-partitioned by server across N shard goroutines. Each
+// shard owns the per-server streaming analyzers (core.Online) for the
+// servers that hash to it, so every server's sliding-window state has
+// exactly one writer and no locks. Shards are fed through bounded
+// channels with an explicit backpressure policy — block (lossless) or
+// drop-and-count — and a merger turns the per-shard interval closures
+// into one globally time-ordered alert stream.
+//
+// Interval closing is driven by a watermark on the trace clock: the
+// runtime closes intervals ending at or before maxDepart−FlushLag, so
+// stragglers and cross-shard interleaving have FlushLag of slack to land
+// before their interval is sealed. Records that arrive after their
+// completion interval closed are counted as late; their contribution to
+// already-sealed intervals is lost (the contribution to still-open
+// intervals is kept).
+//
+// # Equivalence with the batch path
+//
+// The runtime's Snapshot reclassifies every interval still inside the
+// sliding window with an N* estimated from all of them at once — via the
+// same classifySeries decision stage the batch AnalyzeServer uses. While
+// the window still covers the whole stream, a final Snapshot is therefore
+// bit-identical to batch analysis of the same visits (given the same
+// calibrated service-time table), at any shard count and any input
+// interleaving; the equivalence test harness in the root package pins
+// this down. Live alerts are the provisional real-time view: they
+// classify with the N* current at close time, so the first window of
+// alerts rides on a provisional estimate (the warm-up caveat).
+//
+// # Concurrency
+//
+// Observe, Advance, Snapshot and Close form the producer API and must be
+// called from one goroutine (or be externally serialized) — the same
+// single-writer contract as OnlineDetector, lifted one level up. Alerts()
+// and Metrics() are safe from any goroutine. The caller must drain
+// Alerts(); an undrained alert stream eventually backpressures the whole
+// runtime (merger, then shards, then Observe).
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"transientbd/internal/core"
+	"transientbd/internal/simnet"
+	"transientbd/internal/trace"
+)
+
+// batchSize is how many records the producer accumulates per shard before
+// enqueueing: big enough to amortize channel transfer on the ingest hot
+// path, small enough to keep latency and drop granularity low.
+const batchSize = 256
+
+// Config tunes the runtime. The zero value runs one shard with the core
+// online defaults (50 ms intervals, 2-minute window, 20 s re-estimation),
+// an 8192-record queue, blocking backpressure and a 1 s flush lag.
+type Config struct {
+	// Online configures each per-server streaming analyzer.
+	Online core.OnlineOptions
+	// Shards is the number of shard goroutines records are partitioned
+	// across by server hash. Default 1.
+	Shards int
+	// QueueDepth bounds each shard's input queue, in records. Default
+	// 8192. Enqueueing happens in batches, so the bound is approximate
+	// within one batch.
+	QueueDepth int
+	// DropOnFull selects the backpressure policy when a shard queue is
+	// full: false (default) blocks Observe until the shard drains —
+	// lossless, the ingest feed absorbs the stall; true drops the
+	// overflowing batch and counts the records in Metrics.Dropped.
+	DropOnFull bool
+	// FlushLag is how far the interval-closing watermark trails the
+	// newest departure timestamp observed. It must exceed the longest
+	// request residence plus any cross-feed reordering skew, or late
+	// records lose their contribution to sealed intervals. Default 1 s.
+	FlushLag simnet.Duration
+}
+
+func (c *Config) applyDefaults() {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8192
+	}
+	if c.FlushLag <= 0 {
+		c.FlushLag = simnet.Second
+	}
+	if c.Online.Options.Interval <= 0 {
+		c.Online.Options.Interval = 50 * simnet.Millisecond
+	}
+}
+
+// Alert reports one closed monitoring interval at one server. The merged
+// stream is ordered by (At, Server) within each watermark epoch; with an
+// adequate FlushLag epochs themselves are time-ordered, so the stream is
+// globally ordered.
+type Alert struct {
+	// Server is the reporting server.
+	Server string
+	// At is the interval's start time.
+	At simnet.Time
+	// Load and TP are the interval's measurements.
+	Load, TP float64
+	// State is the provisional classification (against the N* current at
+	// close time); POI marks a congested interval with near-zero
+	// throughput.
+	State core.IntervalState
+	POI   bool
+}
+
+// Metrics is the runtime's self-observation block: cumulative counters
+// (atomic snapshots, safe to read while the runtime ingests) plus a
+// point-in-time sample of each shard's queue depth.
+type Metrics struct {
+	// Shards is the configured shard count.
+	Shards int
+	// Ingested counts records accepted into shard queues; Dropped counts
+	// records discarded by the DropOnFull backpressure policy; Late
+	// counts records whose departure preceded the watermark when the
+	// shard dequeued them (their sealed-interval contribution is lost).
+	Ingested, Dropped, Late int64
+	// IntervalsClosed counts per-server interval closures; Congested and
+	// Freezes count how many of those closed congested / as POIs.
+	IntervalsClosed, Congested, Freezes int64
+	// Reestimates counts N* refreshes across all servers.
+	Reestimates int64
+	// QueueDepth samples each shard's queued record count.
+	QueueDepth []int64
+}
+
+// String renders the block in the expvar-ish "name value" form the CLI
+// prints.
+func (m Metrics) String() string {
+	depths := ""
+	for i, d := range m.QueueDepth {
+		if i > 0 {
+			depths += " "
+		}
+		depths += fmt.Sprintf("%d", d)
+	}
+	return fmt.Sprintf(`stream metrics:
+  shards                 %d
+  records ingested       %d
+  records dropped        %d
+  records late           %d
+  intervals closed       %d
+  congested intervals    %d
+  freeze intervals       %d
+  nstar re-estimations   %d
+  queue depth per shard  [%s]
+`, m.Shards, m.Ingested, m.Dropped, m.Late,
+		m.IntervalsClosed, m.Congested, m.Freezes, m.Reestimates, depths)
+}
+
+// ServerSnapshot is one server's entry in a runtime snapshot.
+type ServerSnapshot struct {
+	// Server is the server name.
+	Server string
+	// OnlineSnapshot is the batch-equivalent reclassification of the
+	// server's window.
+	*core.OnlineSnapshot
+}
+
+// Snapshot is a point-in-time ranked view of the whole system — the
+// streaming counterpart of core.SystemAnalysis: every tracked server's
+// window reclassified batch-style and ranked by congested fraction,
+// worst first.
+type Snapshot struct {
+	// At is the watermark at snapshot time.
+	At simnet.Time
+	// Ranking lists servers worst-first (congested fraction descending,
+	// ties by name). Servers with no closed intervals yet are omitted.
+	Ranking []ServerSnapshot
+	// Metrics is the runtime's counter block at snapshot time.
+	Metrics Metrics
+}
+
+// shardMsg is the single message type on a shard's input channel: exactly
+// one of batch, watermark (epoch > 0) or snapshot request is set.
+type shardMsg struct {
+	batch []trace.Visit
+	epoch int64
+	now   simnet.Time
+	snap  chan<- []ServerSnapshot
+}
+
+// mergeMsg carries one shard's alerts for one watermark epoch.
+type mergeMsg struct {
+	epoch  int64
+	alerts []Alert
+}
+
+type shard struct {
+	in      chan shardMsg
+	queued  atomic.Int64 // records enqueued but not yet processed
+	servers map[string]*core.Online
+	names   []string // sorted keys of servers
+	mark    simnet.Time
+	reSum   int64 // last reported Σ Reestimates, for delta accounting
+}
+
+// Runtime is the sharded online detection runtime. See the package
+// comment for the concurrency contract.
+type Runtime struct {
+	cfg    Config
+	shards []*shard
+
+	// Producer-goroutine state.
+	pending   [][]trace.Visit
+	maxDepart simnet.Time
+	mark      simnet.Time
+	epoch     int64
+	closed    bool
+	final     *Snapshot
+
+	alerts  chan Alert
+	merge   chan mergeMsg
+	workers sync.WaitGroup
+	done    chan struct{} // merger exit
+
+	ingested, dropped, late      atomic.Int64
+	closedIvals, congested, pois atomic.Int64
+	reestimates                  atomic.Int64
+}
+
+// New starts a runtime: cfg.Shards shard goroutines plus one merger.
+// Close must be called to release them.
+func New(cfg Config) (*Runtime, error) {
+	cfg.applyDefaults()
+	if cfg.Online.WindowIntervals != 0 && cfg.Online.WindowIntervals < 20 {
+		return nil, errors.New("stream: online window must cover at least 20 intervals")
+	}
+	r := &Runtime{
+		cfg:     cfg,
+		shards:  make([]*shard, cfg.Shards),
+		pending: make([][]trace.Visit, cfg.Shards),
+		alerts:  make(chan Alert, 1024),
+		merge:   make(chan mergeMsg, cfg.Shards),
+		done:    make(chan struct{}),
+	}
+	depth := cfg.QueueDepth / batchSize
+	if depth < 1 {
+		depth = 1
+	}
+	for i := range r.shards {
+		s := &shard{
+			in:      make(chan shardMsg, depth),
+			servers: make(map[string]*core.Online),
+		}
+		r.shards[i] = s
+		r.workers.Add(1)
+		go r.runShard(s)
+	}
+	go r.runMerger()
+	return r, nil
+}
+
+// shardOf hashes a server name onto a shard index (FNV-1a).
+func (r *Runtime) shardOf(server string) int {
+	h := fnv.New32a()
+	h.Write([]byte(server))
+	return int(h.Sum32() % uint32(len(r.shards)))
+}
+
+var errClosed = errors.New("stream: runtime is closed")
+
+// Observe ingests one completed visit, batching it toward its server's
+// shard and advancing the watermark when the trace clock has moved far
+// enough. Single producer goroutine only.
+func (r *Runtime) Observe(v trace.Visit) error {
+	if r.closed {
+		return errClosed
+	}
+	if v.Server == "" {
+		return errors.New("stream: visit has no server")
+	}
+	if v.Depart < v.Arrive {
+		return fmt.Errorf("stream: visit at %q departs before it arrives", v.Server)
+	}
+	si := r.shardOf(v.Server)
+	if r.pending[si] == nil {
+		r.pending[si] = make([]trace.Visit, 0, batchSize)
+	}
+	r.pending[si] = append(r.pending[si], v)
+	if len(r.pending[si]) == batchSize {
+		r.flush(si)
+	}
+	if v.Depart > r.maxDepart {
+		r.maxDepart = v.Depart
+		iv := r.cfg.Online.Options.Interval
+		if w := ((r.maxDepart - r.cfg.FlushLag) / iv) * iv; w >= r.mark+iv {
+			r.advance(w)
+		}
+	}
+	return nil
+}
+
+// flush enqueues shard si's pending batch under the backpressure policy.
+func (r *Runtime) flush(si int) {
+	batch := r.pending[si]
+	if len(batch) == 0 {
+		return
+	}
+	r.pending[si] = nil
+	s := r.shards[si]
+	msg := shardMsg{batch: batch}
+	if r.cfg.DropOnFull {
+		select {
+		case s.in <- msg:
+		default:
+			r.dropped.Add(int64(len(batch)))
+			return
+		}
+	} else {
+		s.in <- msg
+	}
+	s.queued.Add(int64(len(batch)))
+	r.ingested.Add(int64(len(batch)))
+}
+
+// Advance manually moves the watermark to now (floored to the interval
+// grid), closing every interval ending at or before it on all shards.
+// Useful when the feed's trace clock stalls (e.g. a quiet system) and the
+// caller wants wall-clock-driven flushing; Observe advances automatically
+// otherwise. Watermarks never move backwards.
+func (r *Runtime) Advance(now simnet.Time) {
+	if r.closed {
+		return
+	}
+	iv := r.cfg.Online.Options.Interval
+	w := (now / iv) * iv
+	if w <= r.mark {
+		return
+	}
+	r.advance(w)
+}
+
+// advance broadcasts watermark w (grid-aligned, > r.mark) to all shards.
+// Watermark sends always block: losing one would desynchronize epochs.
+func (r *Runtime) advance(w simnet.Time) {
+	for si := range r.shards {
+		r.flush(si)
+	}
+	r.epoch++
+	r.mark = w
+	for _, s := range r.shards {
+		s.in <- shardMsg{epoch: r.epoch, now: w}
+	}
+}
+
+// Alerts returns the merged, time-ordered alert stream. The channel is
+// closed by Close after the final intervals flush. The caller must drain
+// it.
+func (r *Runtime) Alerts() <-chan Alert { return r.alerts }
+
+// Metrics returns a snapshot of the self-metrics counters. Safe from any
+// goroutine, any time.
+func (r *Runtime) Metrics() Metrics {
+	m := Metrics{
+		Shards:          len(r.shards),
+		Ingested:        r.ingested.Load(),
+		Dropped:         r.dropped.Load(),
+		Late:            r.late.Load(),
+		IntervalsClosed: r.closedIvals.Load(),
+		Congested:       r.congested.Load(),
+		Freezes:         r.pois.Load(),
+		Reestimates:     r.reestimates.Load(),
+		QueueDepth:      make([]int64, len(r.shards)),
+	}
+	for i, s := range r.shards {
+		m.QueueDepth[i] = s.queued.Load()
+	}
+	return m
+}
+
+// Snapshot flushes pending batches and returns the ranked batch-style
+// reclassification of every shard's window. After Close it returns the
+// final snapshot. Producer goroutine only.
+func (r *Runtime) Snapshot() *Snapshot {
+	if r.closed {
+		return r.final
+	}
+	for si := range r.shards {
+		r.flush(si)
+	}
+	reply := make(chan []ServerSnapshot, len(r.shards))
+	for _, s := range r.shards {
+		s.in <- shardMsg{snap: reply}
+	}
+	var all []ServerSnapshot
+	for range r.shards {
+		all = append(all, <-reply...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].CongestedFraction != all[j].CongestedFraction {
+			return all[i].CongestedFraction > all[j].CongestedFraction
+		}
+		return all[i].Server < all[j].Server
+	})
+	return &Snapshot{At: r.mark, Ranking: all, Metrics: r.Metrics()}
+}
+
+// Close seals the stream: it advances the watermark past the newest
+// departure so every interval with data closes (and its alerts are
+// emitted), takes the final snapshot, stops the shards and the merger,
+// and closes the alert channel. Close is idempotent; it returns the
+// final snapshot. Producer goroutine only.
+func (r *Runtime) Close() *Snapshot {
+	if r.closed {
+		return r.final
+	}
+	for si := range r.shards {
+		r.flush(si)
+	}
+	if r.maxDepart > 0 || r.ingested.Load() > 0 {
+		iv := r.cfg.Online.Options.Interval
+		r.advance((r.maxDepart/iv + 1) * iv)
+	}
+	final := r.Snapshot()
+	for _, s := range r.shards {
+		close(s.in)
+	}
+	r.workers.Wait()
+	close(r.merge)
+	<-r.done
+	r.closed = true
+	r.final = final
+	return final
+}
+
+// runShard is a shard goroutine: the single writer for every core.Online
+// that hashes to it.
+func (r *Runtime) runShard(s *shard) {
+	defer r.workers.Done()
+	for msg := range s.in {
+		switch {
+		case msg.batch != nil:
+			for i := range msg.batch {
+				r.observeShard(s, &msg.batch[i])
+			}
+			s.queued.Add(-int64(len(msg.batch)))
+		case msg.epoch > 0:
+			s.mark = msg.now
+			var alerts []Alert
+			for _, name := range s.names {
+				o := s.servers[name]
+				for _, a := range o.Advance(msg.now) {
+					alerts = append(alerts, Alert{
+						Server: name,
+						At:     a.IntervalStart,
+						Load:   a.Load,
+						TP:     a.TP,
+						State:  a.State,
+						POI:    a.POI,
+					})
+					if a.State == core.StateCongested {
+						r.congested.Add(1)
+					}
+					if a.POI {
+						r.pois.Add(1)
+					}
+				}
+			}
+			r.closedIvals.Add(int64(len(alerts)))
+			var re int64
+			for _, o := range s.servers {
+				re += o.Reestimates()
+			}
+			r.reestimates.Add(re - s.reSum)
+			s.reSum = re
+			r.merge <- mergeMsg{epoch: msg.epoch, alerts: alerts}
+		case msg.snap != nil:
+			var out []ServerSnapshot
+			for _, name := range s.names {
+				if snap := s.servers[name].Snapshot(); snap != nil {
+					out = append(out, ServerSnapshot{Server: name, OnlineSnapshot: snap})
+				}
+			}
+			msg.snap <- out
+		}
+	}
+}
+
+// observeShard routes one visit into its server's analyzer, creating it
+// on first sight with an interval grid anchored at the current watermark
+// (grid-aligned), so a server that appears mid-stream does not flood the
+// merger with idle closures back to time zero.
+func (r *Runtime) observeShard(s *shard, v *trace.Visit) {
+	o := s.servers[v.Server]
+	if o == nil {
+		var err error
+		o, err = core.NewOnline(s.mark, r.cfg.Online)
+		if err != nil {
+			// Config was validated in New; an error here is a programmer
+			// error in the validation, so drop the visit rather than
+			// crash the shard.
+			r.dropped.Add(1)
+			return
+		}
+		s.servers[v.Server] = o
+		s.names = append(s.names, v.Server)
+		sort.Strings(s.names)
+	}
+	if v.Depart < s.mark {
+		r.late.Add(1)
+	}
+	o.Observe(*v)
+}
+
+// runMerger collects each epoch's alerts from all shards, orders them by
+// (time, server) and emits them on the public alert channel. Per-shard
+// channel FIFO guarantees epochs complete in order, so no reordering
+// buffer is needed beyond the current epoch.
+func (r *Runtime) runMerger() {
+	defer close(r.done)
+	defer close(r.alerts)
+	type epochAcc struct {
+		alerts []Alert
+		got    int
+	}
+	acc := make(map[int64]*epochAcc)
+	for msg := range r.merge {
+		e := acc[msg.epoch]
+		if e == nil {
+			e = &epochAcc{}
+			acc[msg.epoch] = e
+		}
+		e.alerts = append(e.alerts, msg.alerts...)
+		e.got++
+		if e.got < len(r.shards) {
+			continue
+		}
+		delete(acc, msg.epoch)
+		sort.Slice(e.alerts, func(i, j int) bool {
+			if e.alerts[i].At != e.alerts[j].At {
+				return e.alerts[i].At < e.alerts[j].At
+			}
+			return e.alerts[i].Server < e.alerts[j].Server
+		})
+		for _, a := range e.alerts {
+			r.alerts <- a
+		}
+	}
+}

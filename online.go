@@ -34,6 +34,48 @@ type OnlineConfig struct {
 	Window time.Duration
 	// Reestimate is how often N* is refreshed (default 20 s).
 	Reestimate time.Duration
+	// ServiceTimes supplies per-class service times from a separate
+	// low-load calibration, the same role as Config.ServiceTimes; nil
+	// estimates them from the stream itself. A calibrated table is what
+	// makes a streaming run's verdicts reproducible against a batch pass
+	// fed the same table.
+	ServiceTimes map[string]time.Duration
+	// RawThroughput disables work-unit normalization (single-class
+	// workloads, or ablation); ServiceTimes is ignored when set.
+	RawThroughput bool
+}
+
+// coreOptions resolves the config's defaults into the internal streaming
+// analyzer options — the one translation both OnlineDetector and Stream
+// build their per-server analyzers from.
+func (cfg OnlineConfig) coreOptions() core.OnlineOptions {
+	interval := cfg.Interval
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	window := cfg.Window
+	if window <= 0 {
+		window = 2 * time.Minute
+	}
+	reest := cfg.Reestimate
+	if reest <= 0 {
+		reest = 20 * time.Second
+	}
+	opts := core.OnlineOptions{
+		Options: core.Options{
+			Interval:      simnet.FromStdDuration(interval),
+			RawThroughput: cfg.RawThroughput,
+		},
+		WindowIntervals: int(window / interval),
+		ReestimateEvery: int(reest / interval),
+	}
+	if cfg.ServiceTimes != nil {
+		opts.ServiceTimes = make(core.ServiceTimes, len(cfg.ServiceTimes))
+		for class, d := range cfg.ServiceTimes {
+			opts.ServiceTimes[class] = simnet.FromStdDuration(d)
+		}
+	}
+	return opts
 }
 
 // OnlineDetector ingests records as they complete and emits per-interval
@@ -61,23 +103,7 @@ func (d *OnlineDetector) onlineFor(server string) (*core.Online, error) {
 	if o, ok := d.servers[server]; ok {
 		return o, nil
 	}
-	interval := d.cfg.Interval
-	if interval <= 0 {
-		interval = 50 * time.Millisecond
-	}
-	window := d.cfg.Window
-	if window <= 0 {
-		window = 2 * time.Minute
-	}
-	reest := d.cfg.Reestimate
-	if reest <= 0 {
-		reest = 20 * time.Second
-	}
-	o, err := core.NewOnline(0, core.OnlineOptions{
-		Options:         core.Options{Interval: simnet.FromStdDuration(interval)},
-		WindowIntervals: int(window / interval),
-		ReestimateEvery: int(reest / interval),
-	})
+	o, err := core.NewOnline(0, d.cfg.coreOptions())
 	if err != nil {
 		return nil, fmt.Errorf("transientbd: online detector: %w", err)
 	}

@@ -1,0 +1,204 @@
+package transientbd
+
+import (
+	"time"
+
+	"transientbd/internal/core"
+	"transientbd/internal/simnet"
+	"transientbd/internal/stream"
+	"transientbd/internal/trace"
+)
+
+// StreamConfig tunes a sharded streaming detector. The zero value runs
+// one shard with the paper's online defaults (50 ms intervals, 2-minute
+// window, 20 s re-estimation), an 8192-record queue, blocking
+// backpressure and a 1 s flush lag.
+type StreamConfig struct {
+	// OnlineConfig carries the detection knobs shared with
+	// OnlineDetector: interval, window, re-estimation cadence, calibrated
+	// service times and raw-throughput mode.
+	OnlineConfig
+	// Shards is the number of shard goroutines records are
+	// hash-partitioned across by server. Default 1.
+	Shards int
+	// QueueDepth bounds each shard's input queue, in records (default
+	// 8192).
+	QueueDepth int
+	// DropOnFull selects the backpressure policy when a shard queue
+	// fills: false (default) blocks Observe until the shard drains; true
+	// drops the overflowing batch and counts it in StreamMetrics.Dropped.
+	DropOnFull bool
+	// FlushLag is how far the interval-closing watermark trails the
+	// newest departure observed; it must exceed the longest request
+	// residence plus any feed reordering skew or late records lose their
+	// contribution to sealed intervals. Default 1 s.
+	FlushLag time.Duration
+}
+
+// StreamMetrics is the runtime's self-metrics block: cumulative counters
+// plus a point-in-time sample of each shard's queue depth. Divide the
+// deltas of Ingested between two reads by the elapsed wall time for
+// records/s.
+type StreamMetrics struct {
+	// Shards is the configured shard count.
+	Shards int
+	// Ingested counts records accepted into shard queues; Dropped counts
+	// records discarded under DropOnFull; Late counts records that
+	// arrived after their completion interval was sealed.
+	Ingested, Dropped, Late int64
+	// IntervalsClosed counts per-server interval closures; Congested and
+	// Freezes count how many of those closed congested / as freezes.
+	IntervalsClosed, Congested, Freezes int64
+	// Reestimates counts N* refreshes across all servers.
+	Reestimates int64
+	// QueueDepth samples each shard's queued record count.
+	QueueDepth []int64
+}
+
+// Stream is the sharded online detection runtime: OnlineDetector scaled
+// out the way its doc comment prescribes. Records are hash-partitioned
+// by server across shard goroutines, each the single writer for its
+// servers' sliding windows; bounded queues apply backpressure (or drop
+// and count); a merger emits one globally time-ordered alert stream; and
+// Snapshot/Close reclassify every window batch-style into a ranked
+// Report.
+//
+// Observe, Advance, Snapshot and Close must be called from one
+// goroutine. Alerts must be drained (a blocked alert consumer eventually
+// backpressures ingestion); Metrics is safe from any goroutine.
+//
+// Alerts are the provisional real-time view: each classifies against the
+// N* current when its interval closed, so roughly the first Window of
+// alerts rides on a provisional estimate while the sliding window warms
+// up. The Report from Snapshot/Close re-judges every interval still in
+// the window with the batch decision stage; while the window covers the
+// whole stream it is identical to Analyze of the same records.
+type Stream struct {
+	rt     *stream.Runtime
+	alerts chan OnlineAlert
+	closed bool
+	final  *Report
+}
+
+// NewStream starts the sharded runtime. Close must be called to release
+// its goroutines.
+func NewStream(cfg StreamConfig) (*Stream, error) {
+	rt, err := stream.New(stream.Config{
+		Online:     cfg.OnlineConfig.coreOptions(),
+		Shards:     cfg.Shards,
+		QueueDepth: cfg.QueueDepth,
+		DropOnFull: cfg.DropOnFull,
+		FlushLag:   simnet.FromStdDuration(cfg.FlushLag),
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Stream{rt: rt, alerts: make(chan OnlineAlert, 256)}
+	go func() {
+		defer close(s.alerts)
+		for a := range rt.Alerts() {
+			s.alerts <- OnlineAlert{
+				Server:     a.Server,
+				Time:       simnet.Std(simnet.Duration(a.At)),
+				Load:       a.Load,
+				Throughput: a.TP,
+				Congested:  a.State == core.StateCongested,
+				Freeze:     a.POI,
+			}
+		}
+	}()
+	return s, nil
+}
+
+// Observe ingests one completed record, routing it to its server's
+// shard. The watermark advances automatically as the trace clock moves.
+func (s *Stream) Observe(r Record) error {
+	if err := validateRecord(0, &r); err != nil {
+		return err
+	}
+	return s.rt.Observe(trace.Visit{
+		Server:     r.Server,
+		Class:      r.Class,
+		Arrive:     simnet.FromStdDuration(r.Arrive),
+		Depart:     simnet.FromStdDuration(r.Depart),
+		Downstream: simnet.FromStdDuration(r.DownstreamWait),
+		TxnID:      r.TxnID,
+		HopID:      r.HopID,
+	})
+}
+
+// Advance manually moves the watermark to now, closing every interval
+// ending at or before it. Useful when the feed goes quiet and the
+// trace clock stalls; Observe advances automatically otherwise.
+func (s *Stream) Advance(now time.Duration) {
+	s.rt.Advance(simnet.FromStdDuration(now))
+}
+
+// Alerts returns the merged, time-ordered alert stream. Closed by Close
+// after the final intervals flush.
+func (s *Stream) Alerts() <-chan OnlineAlert { return s.alerts }
+
+// Metrics returns a snapshot of the runtime's self-metrics counters.
+func (s *Stream) Metrics() StreamMetrics {
+	m := s.rt.Metrics()
+	return StreamMetrics{
+		Shards:          m.Shards,
+		Ingested:        m.Ingested,
+		Dropped:         m.Dropped,
+		Late:            m.Late,
+		IntervalsClosed: m.IntervalsClosed,
+		Congested:       m.Congested,
+		Freezes:         m.Freezes,
+		Reestimates:     m.Reestimates,
+		QueueDepth:      m.QueueDepth,
+	}
+}
+
+// Snapshot returns the ranked bottleneck report over every server's
+// current sliding window — the streaming counterpart of Analyze's
+// Report (Quality is nil; degraded-feed accounting lives in Metrics).
+// Servers with no closed intervals yet are omitted. Returns nil before
+// any interval has closed.
+func (s *Stream) Snapshot() *Report {
+	return convertStreamSnapshot(s.rt.Snapshot())
+}
+
+// Close seals the stream: every interval with data is closed and its
+// alerts emitted, the alert channel is closed, the shard and merger
+// goroutines stop, and the final report is returned. Close is
+// idempotent. The alert channel must still be drained (or already have a
+// consumer) for Close to complete.
+func (s *Stream) Close() *Report {
+	if !s.closed {
+		s.final = convertStreamSnapshot(s.rt.Close())
+		s.closed = true
+	}
+	return s.final
+}
+
+func convertStreamSnapshot(snap *stream.Snapshot) *Report {
+	if snap == nil || len(snap.Ranking) == 0 {
+		return nil
+	}
+	report := &Report{PerServer: make(map[string]*ServerAnalysis, len(snap.Ranking))}
+	for _, ss := range snap.Ranking {
+		sa := &ServerAnalysis{
+			Server:            ss.Server,
+			NStar:             ss.NStar.NStar,
+			TPMax:             ss.NStar.TPMax,
+			Saturated:         ss.NStar.Saturated,
+			CongestedFraction: ss.CongestedFraction,
+			Load:              ss.Load,
+			Throughput:        ss.TP,
+			Interval:          simnet.Std(ss.Interval),
+			WindowStart:       simnet.Std(simnet.Duration(ss.Start)),
+		}
+		fillEpisodes(sa, ss.States, ss.POIs, func(i int) time.Duration {
+			return sa.WindowStart + time.Duration(i)*sa.Interval
+		})
+		report.PerServer[ss.Server] = sa
+		report.Ranking = append(report.Ranking, sa)
+	}
+	sortRanking(report.Ranking)
+	return report
+}
