@@ -1,8 +1,12 @@
 package cli
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"transientbd/internal/core"
@@ -22,7 +26,22 @@ type followOpts struct {
 	lenient  bool
 	metrics  bool
 	top      int
+
+	// Durable recovery: checkpointDir enables periodic consistent cuts
+	// every ckptEvery of trace time; resume continues from the newest
+	// valid cut, skipping the records it already covers.
+	checkpointDir string
+	ckptEvery     time.Duration
+	resume        bool
+	// stop, when non-nil, replaces the SIGINT/SIGTERM handler — closing
+	// it triggers the graceful-shutdown path (tests inject it).
+	stop <-chan struct{}
 }
+
+// errInterrupted aborts ingestion from inside the stream callback when a
+// shutdown signal arrives; runFollow treats it as a clean stop, not an
+// error.
+var errInterrupted = errors.New("interrupted")
 
 // runFollow is tbdetect's online mode: it feeds the visit stream through
 // the sharded detection runtime as it is read, prints congestion alerts
@@ -30,6 +49,12 @@ type followOpts struct {
 // bottleneck snapshot over the final sliding window. Unlike the batch
 // path it never materializes the trace: memory is bounded by the window,
 // whatever the stream length.
+//
+// With a checkpoint directory the runtime writes periodic consistent
+// cuts; -resume restores the newest one and skips the feed prefix it
+// covers. SIGINT/SIGTERM stop ingestion gracefully: open intervals are
+// sealed, remaining alerts and the final snapshot print, a final
+// checkpoint is written, and the exit is clean (status 0).
 func runFollow(r io.Reader, stdout, stderr io.Writer, opts followOpts) error {
 	windowIntervals := int(opts.window / opts.interval)
 	rt, err := stream.New(stream.Config{
@@ -40,11 +65,46 @@ func runFollow(r io.Reader, stdout, stderr io.Writer, opts followOpts) error {
 			},
 			WindowIntervals: windowIntervals,
 		},
-		Shards:   opts.shards,
-		FlushLag: simnet.FromStdDuration(opts.flushLag),
+		Shards:          opts.shards,
+		FlushLag:        simnet.FromStdDuration(opts.flushLag),
+		CheckpointDir:   opts.checkpointDir,
+		CheckpointEvery: simnet.FromStdDuration(opts.ckptEvery),
+		Resume:          opts.resume,
 	})
 	if err != nil {
 		return fmt.Errorf("tbdetect: %w", err)
+	}
+
+	var skip int64
+	if info := rt.ResumeInfo(); opts.resume {
+		for _, w := range info.Warnings {
+			fmt.Fprintf(stderr, "tbdetect: resume: %s\n", w)
+		}
+		if info.Resumed {
+			skip = info.SkipRecords
+			fmt.Fprintf(stderr, "tbdetect: resumed from checkpoint (watermark %v); skipping %d already-incorporated records\n",
+				simnet.Std(simnet.Duration(info.Watermark)), skip)
+		} else {
+			fmt.Fprintln(stderr, "tbdetect: no usable checkpoint; starting cold")
+		}
+	}
+
+	stop := opts.stop
+	if stop == nil {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(sig)
+		ch := make(chan struct{})
+		quit := make(chan struct{})
+		defer close(quit)
+		go func() {
+			select {
+			case <-sig:
+				close(ch)
+			case <-quit:
+			}
+		}()
+		stop = ch
 	}
 
 	// Alert printer: the single consumer of the merged stream. Idle and
@@ -74,9 +134,22 @@ func runFollow(r io.Reader, stdout, stderr io.Writer, opts followOpts) error {
 	if opts.lenient {
 		ioOpts.Policy = traceio.Skip
 	}
-	var invalid int64
+	var invalid, skipped int64
 	stats, err := traceio.StreamVisitsOpts(r, ioOpts, func(batch []trace.Visit) error {
+		select {
+		case <-stop:
+			return errInterrupted
+		default:
+		}
 		for i := range batch {
+			if skipped < skip {
+				// Replay cursor: records the restored checkpoint already
+				// covers. Only records Observe would accept count.
+				if stream.ValidateVisit(batch[i]) == nil {
+					skipped++
+				}
+				continue
+			}
 			if oerr := rt.Observe(batch[i]); oerr != nil {
 				if opts.lenient {
 					invalid++
@@ -87,10 +160,14 @@ func runFollow(r io.Reader, stdout, stderr io.Writer, opts followOpts) error {
 		}
 		return nil
 	})
-	if err != nil {
+	interrupted := errors.Is(err, errInterrupted)
+	if err != nil && !interrupted {
 		rt.Close()
 		<-done
 		return err
+	}
+	if interrupted {
+		fmt.Fprintln(stderr, "tbdetect: interrupted; sealing intervals and writing final state")
 	}
 
 	snap := rt.Close()

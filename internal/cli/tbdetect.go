@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"transientbd/internal/core"
@@ -13,6 +14,52 @@ import (
 	"transientbd/internal/trace"
 	"transientbd/internal/traceio"
 )
+
+// validateFollowFlags rejects contradictory flag combinations in one
+// clear error instead of silently ignoring flags: batch-only flags have
+// no meaning under -follow (the streaming mode never materializes the
+// trace or recovers a call graph), and the checkpoint/resume flags have
+// no meaning without it.
+func validateFollowFlags(fs *flag.FlagSet, follow bool) error {
+	set := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["resume"] && !set["checkpoint"] {
+		return fmt.Errorf("tbdetect: -resume needs -checkpoint DIR (there is nowhere to resume from)")
+	}
+	if set["ckptevery"] && !set["checkpoint"] {
+		return fmt.Errorf("tbdetect: -ckptevery needs -checkpoint DIR")
+	}
+	if follow {
+		var bad []string
+		for _, name := range []string{
+			"wire", "blackbox", "from", "to", "auto", "rootcause",
+			"parallel", "classes", "quality", "inflight",
+		} {
+			if set[name] {
+				bad = append(bad, "-"+name)
+			}
+		}
+		if len(bad) > 0 {
+			return fmt.Errorf("tbdetect: batch-only flags don't apply to the streaming mode: %s (drop them or drop -follow)",
+				strings.Join(bad, " "))
+		}
+		return nil
+	}
+	var bad []string
+	for _, name := range []string{"checkpoint", "ckptevery", "resume"} {
+		if set[name] {
+			bad = append(bad, "-"+name)
+		}
+	}
+	if len(bad) > 0 {
+		verb := "applies"
+		if len(bad) > 1 {
+			verb = "apply"
+		}
+		return fmt.Errorf("tbdetect: %s only %s to the streaming mode: add -follow", strings.Join(bad, " "), verb)
+	}
+	return nil
+}
 
 // TBDetect analyzes a visit trace (JSONL) for transient bottlenecks and
 // prints the per-server report: congestion point N*, congested-interval
@@ -36,13 +83,19 @@ func TBDetect(args []string, stdout, stderr io.Writer) error {
 		lenient  = fs.Bool("lenient", false, "survive degraded traces: skip corrupt lines, quarantine anomalous hops, repair clock skew")
 		quality  = fs.Bool("quality", false, "print the trace-quality block (lines skipped, visits quarantined, skew repairs)")
 		inflight = fs.Duration("inflight", 0, "with -wire -lenient: count unterminated visits older than this as timed out rather than in flight (0 = off)")
-		follow   = fs.Bool("follow", false, "online mode: stream visits through the sharded runtime, print alerts as intervals close")
-		shards   = fs.Int("shards", 0, "with -follow: shard goroutines records are hash-partitioned across (0 = GOMAXPROCS)")
-		window   = fs.Duration("window", 2*time.Minute, "with -follow: sliding window N* is estimated over")
-		flushlag = fs.Duration("flushlag", time.Second, "with -follow: how far interval closing trails the newest departure (must exceed max residence)")
-		metrics  = fs.Bool("selfmetrics", false, "with -follow: print the runtime self-metrics block (records/s, queue depths, drops) to stderr at exit")
+		follow     = fs.Bool("follow", false, "online mode: stream visits through the sharded runtime, print alerts as intervals close")
+		shards     = fs.Int("shards", 0, "with -follow: shard goroutines records are hash-partitioned across (0 = GOMAXPROCS)")
+		window     = fs.Duration("window", 2*time.Minute, "with -follow: sliding window N* is estimated over")
+		flushlag   = fs.Duration("flushlag", time.Second, "with -follow: how far interval closing trails the newest departure (must exceed max residence)")
+		metrics    = fs.Bool("selfmetrics", false, "with -follow: print the runtime self-metrics block (records/s, queue depths, drops) to stderr at exit")
+		checkpoint = fs.String("checkpoint", "", "with -follow: directory for durable checkpoints (consistent analyzer-state cuts, written atomically)")
+		ckptevery  = fs.Duration("ckptevery", 10*time.Second, "with -follow -checkpoint: trace time between automatic checkpoints")
+		resume     = fs.Bool("resume", false, "with -follow -checkpoint: resume from the newest valid checkpoint, skipping the records it already covers")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := validateFollowFlags(fs, *follow); err != nil {
 		return err
 	}
 
@@ -56,22 +109,22 @@ func TBDetect(args []string, stdout, stderr io.Writer) error {
 		r = f
 	}
 	if *follow {
-		if *wire {
-			return fmt.Errorf("tbdetect: -follow reads visit JSONL; assemble wire captures offline first")
-		}
 		nshards := *shards
 		if nshards <= 0 {
 			nshards = runtime.GOMAXPROCS(0)
 		}
 		return runFollow(r, stdout, stderr, followOpts{
-			interval: *interval,
-			window:   *window,
-			flushLag: *flushlag,
-			shards:   nshards,
-			raw:      *raw,
-			lenient:  *lenient,
-			metrics:  *metrics,
-			top:      *top,
+			interval:      *interval,
+			window:        *window,
+			flushLag:      *flushlag,
+			shards:        nshards,
+			raw:           *raw,
+			lenient:       *lenient,
+			metrics:       *metrics,
+			top:           *top,
+			checkpointDir: *checkpoint,
+			ckptEvery:     *ckptevery,
+			resume:        *resume,
 		})
 	}
 	// Ingest straight into the per-server grouping the analysis needs.

@@ -82,6 +82,49 @@ type Config struct {
 	// request residence plus any cross-feed reordering skew, or late
 	// records lose their contribution to sealed intervals. Default 1 s.
 	FlushLag simnet.Duration
+
+	// CheckpointDir, when non-empty, enables durable checkpoints: the
+	// runtime periodically writes a consistent cut of every analyzer's
+	// state (atomic write-then-rename, CRC-protected, the two newest
+	// files kept) that a later runtime can Resume from.
+	CheckpointDir string
+	// CheckpointEvery is the trace-time between automatic checkpoints,
+	// taken at watermark barriers so every checkpoint is a consistent
+	// cut across shards. Default 10 s of trace time when CheckpointDir
+	// is set. With no CheckpointDir, a non-zero cadence still refreshes
+	// each shard's in-memory recovery state (bounding both replay memory
+	// and the data a shard restart can roll back).
+	CheckpointEvery simnet.Duration
+	// Resume makes New load the newest valid checkpoint in CheckpointDir
+	// and continue from it: analyzer states, watermark, epoch and
+	// self-metrics counters are restored, and ResumeInfo reports the
+	// replay cursor (how many records of the original feed are already
+	// incorporated and must be skipped). Corrupt checkpoint files fall
+	// back to the previous one, then to a cold start — never a crash.
+	Resume bool
+	// MaxShardRestarts is the crash-loop budget per shard: beyond it a
+	// panicking shard is degraded to drop-with-accounting instead of
+	// being rebuilt again (the merger and the other shards keep
+	// running). Default 8.
+	MaxShardRestarts int
+	// Hooks are optional fault-injection points used by the chaos
+	// harness; see Hooks. Nil fields are free.
+	Hooks Hooks
+}
+
+// Hooks are fault-injection points for chaos testing. Observe and Advance
+// run on shard goroutines under the supervisor — a panic there exercises
+// quarantine/rebuild/replay exactly like a real defect would (hooks are
+// not re-invoked while recovery replays retained batches). Checkpoint
+// runs on the producer goroutine just before a checkpoint file is
+// written; it exists for corruption injection, not for panics.
+type Hooks struct {
+	// Observe runs before each record is applied to its shard's analyzer.
+	Observe func(shard int, v *trace.Visit)
+	// Advance runs when a shard starts processing a watermark barrier.
+	Advance func(shard int, mark simnet.Time)
+	// Checkpoint runs on the producer before a checkpoint file write.
+	Checkpoint func(epoch int64)
 }
 
 func (c *Config) applyDefaults() {
@@ -96,6 +139,12 @@ func (c *Config) applyDefaults() {
 	}
 	if c.Online.Options.Interval <= 0 {
 		c.Online.Options.Interval = 50 * simnet.Millisecond
+	}
+	if c.CheckpointDir != "" && c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 10 * simnet.Second
+	}
+	if c.MaxShardRestarts <= 0 {
+		c.MaxShardRestarts = 8
 	}
 }
 
@@ -135,6 +184,20 @@ type Metrics struct {
 	Reestimates int64
 	// QueueDepth samples each shard's queued record count.
 	QueueDepth []int64
+	// Checkpoints and CheckpointsFailed count checkpoint cuts written
+	// and checkpoint attempts abandoned (a shard could not serialize, or
+	// the write failed); a failed attempt keeps the previous file.
+	Checkpoints, CheckpointsFailed int64
+	// ShardRestarts counts shard quarantine/rebuild cycles after a
+	// panic; DegradedShards counts shards that exhausted the crash-loop
+	// budget and now drop records with accounting.
+	ShardRestarts, DegradedShards int64
+	// RecordsLost counts records whose contribution was rolled back and
+	// could not be replayed during a shard rebuild (or was dropped by a
+	// degraded shard); AlertsLost counts interval closures discarded
+	// because their shard failed mid-barrier. Both are zero in a healthy
+	// run: any loss is accounted, never silent.
+	RecordsLost, AlertsLost int64
 }
 
 // String renders the block in the expvar-ish "name value" form the CLI
@@ -157,8 +220,16 @@ func (m Metrics) String() string {
   freeze intervals       %d
   nstar re-estimations   %d
   queue depth per shard  [%s]
+  checkpoints written    %d
+  checkpoints failed     %d
+  shard restarts         %d
+  degraded shards        %d
+  records lost           %d
+  alerts lost            %d
 `, m.Shards, m.Ingested, m.Dropped, m.Late,
-		m.IntervalsClosed, m.Congested, m.Freezes, m.Reestimates, depths)
+		m.IntervalsClosed, m.Congested, m.Freezes, m.Reestimates, depths,
+		m.Checkpoints, m.CheckpointsFailed, m.ShardRestarts, m.DegradedShards,
+		m.RecordsLost, m.AlertsLost)
 }
 
 // ServerSnapshot is one server's entry in a runtime snapshot.
@@ -184,13 +255,23 @@ type Snapshot struct {
 	Metrics Metrics
 }
 
-// shardMsg is the single message type on a shard's input channel: exactly
-// one of batch, watermark (epoch > 0) or snapshot request is set.
+// shardMsg is the single message type on a shard's input channel: a
+// record batch, a watermark barrier (epoch > 0, optionally carrying a
+// checkpoint request so the cut lands exactly on the barrier), a
+// snapshot request, or a standalone checkpoint request.
 type shardMsg struct {
 	batch []trace.Visit
 	epoch int64
 	now   simnet.Time
 	snap  chan<- []ServerSnapshot
+	ckpt  chan<- shardCkptReply
+}
+
+// shardCkptReply is one shard's contribution to a checkpoint cut: its
+// servers' marshaled analyzer states, or the error that prevented them.
+type shardCkptReply struct {
+	servers map[string][]byte
+	err     error
 }
 
 // mergeMsg carries one shard's alerts for one watermark epoch.
@@ -199,28 +280,57 @@ type mergeMsg struct {
 	alerts []Alert
 }
 
+// retainedBatch is a record batch kept after processing so a shard
+// rebuild can replay it. The mark is the shard watermark the batch was
+// originally processed under: replay anchors newly-seen servers at it,
+// reproducing the original interval grid exactly.
+type retainedBatch struct {
+	mark simnet.Time
+	recs []trace.Visit
+}
+
 type shard struct {
+	idx     int
 	in      chan shardMsg
 	queued  atomic.Int64 // records enqueued but not yet processed
 	servers map[string]*core.Online
 	names   []string // sorted keys of servers
 	mark    simnet.Time
+	acked   int64 // newest epoch acknowledged to the merger
 	reSum   int64 // last reported Σ Reestimates, for delta accounting
+
+	// Supervision state (shard goroutine only). lastCkpt holds every
+	// server's marshaled state as of the last checkpoint cut; retained
+	// holds the batches processed since, so a panic rolls back to the
+	// cut and replays forward. gapRecs counts records evicted from
+	// retention by the memory cap — unrecoverable if a rebuild happens
+	// before the next checkpoint.
+	lastCkpt     map[string][]byte
+	ckptMark     simnet.Time
+	retained     []retainedBatch
+	retainedRecs int
+	gapRecs      int64
+	restarts     int
+	degraded     bool
 }
 
 // Runtime is the sharded online detection runtime. See the package
 // comment for the concurrency contract.
 type Runtime struct {
-	cfg    Config
-	shards []*shard
+	cfg       Config
+	shards    []*shard
+	retainCap int
 
 	// Producer-goroutine state.
-	pending   [][]trace.Visit
-	maxDepart simnet.Time
-	mark      simnet.Time
-	epoch     int64
-	closed    bool
-	final     *Snapshot
+	pending      [][]trace.Visit
+	maxDepart    simnet.Time
+	mark         simnet.Time
+	epoch        int64
+	closed       bool
+	final        *Snapshot
+	ckptSeq      int64
+	lastCkptMark simnet.Time
+	resume       ResumeInfo
 
 	alerts  chan Alert
 	merge   chan mergeMsg
@@ -230,39 +340,146 @@ type Runtime struct {
 	ingested, dropped, late      atomic.Int64
 	closedIvals, congested, pois atomic.Int64
 	reestimates                  atomic.Int64
+	observed                     atomic.Int64 // replay cursor: records accepted by Observe
+	ckptWrites, ckptFailed       atomic.Int64
+	restarts, degradedShards     atomic.Int64
+	recordsLost, alertsLost      atomic.Int64
+}
+
+// ResumeInfo describes what New restored when Config.Resume was set.
+type ResumeInfo struct {
+	// Resumed reports whether a checkpoint was actually loaded; false
+	// means a cold start (no checkpoint dir, no file, or none valid).
+	Resumed bool
+	// Seq and Epoch identify the checkpoint; Watermark is the consistent
+	// cut it represents.
+	Seq       int64
+	Epoch     int64
+	Watermark simnet.Time
+	// SkipRecords is the replay cursor: how many records of the original
+	// feed (in feed order, counting only records Observe accepted) are
+	// already incorporated in the restored state. A caller re-reading
+	// the same input must skip that many acceptable records before
+	// resuming Observe, or they will be double-counted.
+	SkipRecords int64
+	// Warnings lists checkpoint files and per-server states that were
+	// skipped as corrupt or incompatible during resume.
+	Warnings []string
 }
 
 // New starts a runtime: cfg.Shards shard goroutines plus one merger.
-// Close must be called to release them.
+// Close must be called to release them. With Config.Resume set, the
+// newest valid checkpoint in Config.CheckpointDir is restored first;
+// ResumeInfo reports what was loaded and the replay cursor.
 func New(cfg Config) (*Runtime, error) {
 	cfg.applyDefaults()
 	if cfg.Online.WindowIntervals != 0 && cfg.Online.WindowIntervals < 20 {
 		return nil, errors.New("stream: online window must cover at least 20 intervals")
 	}
+	var st *checkpointState
+	var warns []string
+	if cfg.Resume {
+		if cfg.CheckpointDir == "" {
+			return nil, errors.New("stream: Resume requires CheckpointDir")
+		}
+		st, warns = loadLatestCheckpoint(cfg.CheckpointDir)
+		if st != nil && st.Interval != cfg.Online.Options.Interval {
+			return nil, fmt.Errorf("stream: checkpoint was written with interval %v, configured %v: config changes require a cold start (clear the checkpoint dir)",
+				st.Interval, cfg.Online.Options.Interval)
+		}
+	}
 	r := &Runtime{
-		cfg:     cfg,
-		shards:  make([]*shard, cfg.Shards),
-		pending: make([][]trace.Visit, cfg.Shards),
-		alerts:  make(chan Alert, 1024),
-		merge:   make(chan mergeMsg, cfg.Shards),
-		done:    make(chan struct{}),
+		cfg:       cfg,
+		shards:    make([]*shard, cfg.Shards),
+		retainCap: 4 * cfg.QueueDepth,
+		pending:   make([][]trace.Visit, cfg.Shards),
+		alerts:    make(chan Alert, 1024),
+		merge:     make(chan mergeMsg, cfg.Shards),
+		done:      make(chan struct{}),
 	}
 	depth := cfg.QueueDepth / batchSize
 	if depth < 1 {
 		depth = 1
 	}
 	for i := range r.shards {
-		s := &shard{
+		r.shards[i] = &shard{
+			idx:     i,
 			in:      make(chan shardMsg, depth),
 			servers: make(map[string]*core.Online),
 		}
-		r.shards[i] = s
+	}
+	if st != nil {
+		warns = append(warns, r.restore(st)...)
+	}
+	r.resume.Warnings = warns
+	// Goroutines start only after any restore, so shard state needs no
+	// locking here.
+	for _, s := range r.shards {
 		r.workers.Add(1)
 		go r.runShard(s)
 	}
 	go r.runMerger()
 	return r, nil
 }
+
+// restore loads a checkpoint cut into the (not yet running) runtime,
+// returning warnings for server states that could not be restored (those
+// servers start cold).
+func (r *Runtime) restore(st *checkpointState) []string {
+	var warns []string
+	r.epoch = st.Epoch
+	r.mark = st.Mark
+	r.maxDepart = st.MaxDepart
+	r.ckptSeq = st.Seq
+	r.lastCkptMark = st.Mark
+	r.observed.Store(st.Observed)
+	r.ingested.Store(st.Ingested)
+	r.dropped.Store(st.Dropped)
+	r.late.Store(st.Late)
+	r.closedIvals.Store(st.IntervalsClosed)
+	r.congested.Store(st.Congested)
+	r.pois.Store(st.POIs)
+	r.reestimates.Store(st.Reestimates)
+	for name, blob := range st.Servers {
+		s := r.shards[r.shardOf(name)]
+		o, err := core.NewOnline(0, r.cfg.Online)
+		if err == nil {
+			err = o.RestoreState(blob)
+		}
+		if err != nil {
+			warns = append(warns, fmt.Sprintf("server %q state not restored (cold start for it): %v", name, err))
+			continue
+		}
+		if s.lastCkpt == nil {
+			s.lastCkpt = make(map[string][]byte)
+		}
+		s.servers[name] = o
+		s.names = append(s.names, name)
+		s.lastCkpt[name] = blob
+	}
+	for _, s := range r.shards {
+		sort.Strings(s.names)
+		s.mark = st.Mark
+		s.ckptMark = st.Mark
+		s.acked = st.Epoch
+		var re int64
+		for _, o := range s.servers {
+			re += o.Reestimates()
+		}
+		s.reSum = re
+	}
+	r.resume = ResumeInfo{
+		Resumed:     true,
+		Seq:         st.Seq,
+		Epoch:       st.Epoch,
+		Watermark:   st.Mark,
+		SkipRecords: st.Observed,
+	}
+	return warns
+}
+
+// ResumeInfo reports what New restored (zero value for a cold start).
+func (r *Runtime) ResumeInfo() ResumeInfo { return r.resume }
 
 // shardOf hashes a server name onto a shard index (FNV-1a).
 func (r *Runtime) shardOf(server string) int {
@@ -271,21 +488,34 @@ func (r *Runtime) shardOf(server string) int {
 	return int(h.Sum32() % uint32(len(r.shards)))
 }
 
-var errClosed = errors.New("stream: runtime is closed")
+// ErrClosed is returned by producer-API calls after Close or Abort.
+var ErrClosed = errors.New("stream: runtime is closed")
 
-// Observe ingests one completed visit, batching it toward its server's
-// shard and advancing the watermark when the trace clock has moved far
-// enough. Single producer goroutine only.
-func (r *Runtime) Observe(v trace.Visit) error {
-	if r.closed {
-		return errClosed
-	}
+// ValidateVisit reports whether Observe would accept v — the exact
+// acceptance test, exported so a resuming caller can count acceptable
+// records while skipping the replay cursor without feeding them in.
+func ValidateVisit(v trace.Visit) error {
 	if v.Server == "" {
 		return errors.New("stream: visit has no server")
 	}
 	if v.Depart < v.Arrive {
 		return fmt.Errorf("stream: visit at %q departs before it arrives", v.Server)
 	}
+	return nil
+}
+
+// Observe ingests one completed visit, batching it toward its server's
+// shard and advancing the watermark when the trace clock has moved far
+// enough. Single producer goroutine only. Every accepted record advances
+// the replay cursor (ResumeInfo.SkipRecords of a later resumed run).
+func (r *Runtime) Observe(v trace.Visit) error {
+	if r.closed {
+		return ErrClosed
+	}
+	if err := ValidateVisit(v); err != nil {
+		return err
+	}
+	r.observed.Add(1)
 	si := r.shardOf(v.Server)
 	if r.pending[si] == nil {
 		r.pending[si] = make([]trace.Visit, 0, batchSize)
@@ -346,15 +576,107 @@ func (r *Runtime) Advance(now simnet.Time) {
 
 // advance broadcasts watermark w (grid-aligned, > r.mark) to all shards.
 // Watermark sends always block: losing one would desynchronize epochs.
+// When the checkpoint cadence has elapsed, the barrier doubles as a
+// checkpoint cut: the same message carries the checkpoint request, so
+// the serialized state is exactly the post-barrier state at w.
 func (r *Runtime) advance(w simnet.Time) {
 	for si := range r.shards {
 		r.flush(si)
 	}
 	r.epoch++
 	r.mark = w
-	for _, s := range r.shards {
-		s.in <- shardMsg{epoch: r.epoch, now: w}
+	var reply chan shardCkptReply
+	if r.cfg.CheckpointEvery > 0 && w >= r.lastCkptMark+r.cfg.CheckpointEvery {
+		reply = make(chan shardCkptReply, len(r.shards))
 	}
+	for _, s := range r.shards {
+		s.in <- shardMsg{epoch: r.epoch, now: w, ckpt: reply}
+	}
+	if reply != nil {
+		r.collectCheckpoint(reply) // best-effort: failure keeps the previous file
+	}
+}
+
+// Checkpoint takes an explicit checkpoint cut covering every record
+// accepted so far: pending batches are flushed, every shard serializes
+// its analyzers behind them, and (when CheckpointDir is set) the cut is
+// written durably. Producer goroutine only. The error reports a failed
+// or skipped cut; the previous checkpoint file, if any, stays valid.
+func (r *Runtime) Checkpoint() error {
+	if r.closed {
+		return ErrClosed
+	}
+	return r.checkpointNow()
+}
+
+// checkpointNow is Checkpoint without the closed-guard, so Close can
+// write its final cut after sealing.
+func (r *Runtime) checkpointNow() error {
+	for si := range r.shards {
+		r.flush(si)
+	}
+	reply := make(chan shardCkptReply, len(r.shards))
+	for _, s := range r.shards {
+		s.in <- shardMsg{ckpt: reply}
+	}
+	return r.collectCheckpoint(reply)
+}
+
+// collectCheckpoint gathers every shard's serialized state for one cut
+// and writes the checkpoint file. A shard that could not serialize (or a
+// failed write) abandons the cut with accounting — the previous file is
+// kept, so resume falls back to an older consistent state rather than
+// mixing generations.
+func (r *Runtime) collectCheckpoint(reply chan shardCkptReply) error {
+	servers := make(map[string][]byte)
+	var firstErr error
+	for range r.shards {
+		rep := <-reply
+		if rep.err != nil && firstErr == nil {
+			firstErr = rep.err
+		}
+		for name, blob := range rep.servers {
+			servers[name] = blob
+		}
+	}
+	if firstErr != nil {
+		r.ckptFailed.Add(1)
+		return fmt.Errorf("stream: checkpoint abandoned: %w", firstErr)
+	}
+	// An in-memory cut (no CheckpointDir) still resets the cadence and
+	// has refreshed every shard's recovery state.
+	r.lastCkptMark = r.mark
+	if r.cfg.CheckpointDir == "" {
+		return nil
+	}
+	st := checkpointState{
+		Version:         ckptVersion,
+		Seq:             r.ckptSeq + 1,
+		Epoch:           r.epoch,
+		Mark:            r.mark,
+		MaxDepart:       r.maxDepart,
+		Observed:        r.observed.Load(),
+		Ingested:        r.ingested.Load(),
+		Dropped:         r.dropped.Load(),
+		Late:            r.late.Load(),
+		IntervalsClosed: r.closedIvals.Load(),
+		Congested:       r.congested.Load(),
+		POIs:            r.pois.Load(),
+		Reestimates:     r.reestimates.Load(),
+		Interval:        r.cfg.Online.Options.Interval,
+		Servers:         servers,
+	}
+	if h := r.cfg.Hooks.Checkpoint; h != nil {
+		h(r.epoch)
+	}
+	if err := writeCheckpoint(r.cfg.CheckpointDir, st); err != nil {
+		r.ckptFailed.Add(1)
+		return fmt.Errorf("stream: checkpoint write: %w", err)
+	}
+	r.ckptSeq = st.Seq
+	r.ckptWrites.Add(1)
+	pruneCheckpoints(r.cfg.CheckpointDir, st.Seq-1)
+	return nil
 }
 
 // Alerts returns the merged, time-ordered alert stream. The channel is
@@ -375,6 +697,13 @@ func (r *Runtime) Metrics() Metrics {
 		Freezes:         r.pois.Load(),
 		Reestimates:     r.reestimates.Load(),
 		QueueDepth:      make([]int64, len(r.shards)),
+
+		Checkpoints:       r.ckptWrites.Load(),
+		CheckpointsFailed: r.ckptFailed.Load(),
+		ShardRestarts:     r.restarts.Load(),
+		DegradedShards:    r.degradedShards.Load(),
+		RecordsLost:       r.recordsLost.Load(),
+		AlertsLost:        r.alertsLost.Load(),
 	}
 	for i, s := range r.shards {
 		m.QueueDepth[i] = s.queued.Load()
@@ -411,9 +740,11 @@ func (r *Runtime) Snapshot() *Snapshot {
 
 // Close seals the stream: it advances the watermark past the newest
 // departure so every interval with data closes (and its alerts are
-// emitted), takes the final snapshot, stops the shards and the merger,
-// and closes the alert channel. Close is idempotent; it returns the
-// final snapshot. Producer goroutine only.
+// emitted), takes the final snapshot, writes a final checkpoint cut
+// (when CheckpointDir is set — best-effort, a failure keeps the previous
+// file), stops the shards and the merger, and closes the alert channel.
+// Close is idempotent; it returns the final snapshot. Producer goroutine
+// only.
 func (r *Runtime) Close() *Snapshot {
 	if r.closed {
 		return r.final
@@ -426,6 +757,29 @@ func (r *Runtime) Close() *Snapshot {
 		r.advance((r.maxDepart/iv + 1) * iv)
 	}
 	final := r.Snapshot()
+	if r.cfg.CheckpointDir != "" {
+		_ = r.checkpointNow()
+	}
+	r.stop()
+	r.final = final
+	return final
+}
+
+// Abort hard-stops the runtime without sealing intervals, emitting final
+// alerts, or writing a final checkpoint — the shutdown shape of a crash,
+// used by the chaos harness and by callers abandoning a stream whose
+// state another run will Resume from the last checkpoint. Pending
+// (unflushed) records are discarded. Idempotent; a no-op after Close.
+func (r *Runtime) Abort() {
+	if r.closed {
+		return
+	}
+	r.stop()
+}
+
+// stop releases the shard and merger goroutines and closes the alert
+// channel. The caller must still hold the producer role.
+func (r *Runtime) stop() {
 	for _, s := range r.shards {
 		close(s.in)
 	}
@@ -433,87 +787,6 @@ func (r *Runtime) Close() *Snapshot {
 	close(r.merge)
 	<-r.done
 	r.closed = true
-	r.final = final
-	return final
-}
-
-// runShard is a shard goroutine: the single writer for every core.Online
-// that hashes to it.
-func (r *Runtime) runShard(s *shard) {
-	defer r.workers.Done()
-	for msg := range s.in {
-		switch {
-		case msg.batch != nil:
-			for i := range msg.batch {
-				r.observeShard(s, &msg.batch[i])
-			}
-			s.queued.Add(-int64(len(msg.batch)))
-		case msg.epoch > 0:
-			s.mark = msg.now
-			var alerts []Alert
-			for _, name := range s.names {
-				o := s.servers[name]
-				for _, a := range o.Advance(msg.now) {
-					alerts = append(alerts, Alert{
-						Server: name,
-						At:     a.IntervalStart,
-						Load:   a.Load,
-						TP:     a.TP,
-						State:  a.State,
-						POI:    a.POI,
-					})
-					if a.State == core.StateCongested {
-						r.congested.Add(1)
-					}
-					if a.POI {
-						r.pois.Add(1)
-					}
-				}
-			}
-			r.closedIvals.Add(int64(len(alerts)))
-			var re int64
-			for _, o := range s.servers {
-				re += o.Reestimates()
-			}
-			r.reestimates.Add(re - s.reSum)
-			s.reSum = re
-			r.merge <- mergeMsg{epoch: msg.epoch, alerts: alerts}
-		case msg.snap != nil:
-			var out []ServerSnapshot
-			for _, name := range s.names {
-				if snap := s.servers[name].Snapshot(); snap != nil {
-					out = append(out, ServerSnapshot{Server: name, OnlineSnapshot: snap})
-				}
-			}
-			msg.snap <- out
-		}
-	}
-}
-
-// observeShard routes one visit into its server's analyzer, creating it
-// on first sight with an interval grid anchored at the current watermark
-// (grid-aligned), so a server that appears mid-stream does not flood the
-// merger with idle closures back to time zero.
-func (r *Runtime) observeShard(s *shard, v *trace.Visit) {
-	o := s.servers[v.Server]
-	if o == nil {
-		var err error
-		o, err = core.NewOnline(s.mark, r.cfg.Online)
-		if err != nil {
-			// Config was validated in New; an error here is a programmer
-			// error in the validation, so drop the visit rather than
-			// crash the shard.
-			r.dropped.Add(1)
-			return
-		}
-		s.servers[v.Server] = o
-		s.names = append(s.names, v.Server)
-		sort.Strings(s.names)
-	}
-	if v.Depart < s.mark {
-		r.late.Add(1)
-	}
-	o.Observe(*v)
 }
 
 // runMerger collects each epoch's alerts from all shards, orders them by

@@ -33,6 +33,42 @@ type StreamConfig struct {
 	// residence plus any feed reordering skew or late records lose their
 	// contribution to sealed intervals. Default 1 s.
 	FlushLag time.Duration
+
+	// CheckpointDir, when non-empty, enables durable crash recovery: the
+	// runtime periodically writes a consistent cut of every analyzer's
+	// state (atomic write-then-rename, checksummed, two generations kept)
+	// that a later NewStream with Resume can continue from.
+	CheckpointDir string
+	// CheckpointEvery is the trace-time between automatic checkpoints
+	// (default 10 s of trace time when CheckpointDir is set). Checkpoints
+	// are taken at watermark barriers, so every cut is consistent across
+	// shards.
+	CheckpointEvery time.Duration
+	// Resume makes NewStream load the newest valid checkpoint in
+	// CheckpointDir and continue from it; ResumeInfo reports what was
+	// restored and how many records of the original feed to skip.
+	// Corrupt checkpoint files fall back to the previous generation, then
+	// to a cold start — never an error.
+	Resume bool
+}
+
+// StreamResumeInfo describes what NewStream restored when
+// StreamConfig.Resume was set.
+type StreamResumeInfo struct {
+	// Resumed reports whether a checkpoint was loaded; false means a cold
+	// start (no checkpoint directory, no file, or none valid).
+	Resumed bool
+	// Watermark is the trace time of the restored cut.
+	Watermark time.Duration
+	// SkipRecords is the replay cursor: how many records of the original
+	// feed (counting only records Observe accepted) are already
+	// incorporated in the restored state. A caller re-reading the same
+	// feed must skip that many acceptable records before resuming
+	// Observe, or they are double-counted.
+	SkipRecords int64
+	// Warnings lists checkpoint files and per-server states skipped as
+	// corrupt or incompatible during the resume.
+	Warnings []string
 }
 
 // StreamMetrics is the runtime's self-metrics block: cumulative counters
@@ -53,6 +89,20 @@ type StreamMetrics struct {
 	Reestimates int64
 	// QueueDepth samples each shard's queued record count.
 	QueueDepth []int64
+	// Checkpoints and CheckpointsFailed count durable checkpoint cuts
+	// written and checkpoint attempts abandoned (a failed attempt keeps
+	// the previous file).
+	Checkpoints, CheckpointsFailed int64
+	// ShardRestarts counts shard quarantine/rebuild cycles after an
+	// internal panic; DegradedShards counts shards that exhausted the
+	// crash-loop budget and now drop records with accounting.
+	ShardRestarts, DegradedShards int64
+	// RecordsLost counts records whose contribution could not be replayed
+	// during a shard rebuild (or was dropped by a degraded shard);
+	// AlertsLost counts interval closures discarded because their shard
+	// failed mid-barrier. Both stay zero in a healthy run: loss is always
+	// accounted, never silent.
+	RecordsLost, AlertsLost int64
 }
 
 // Stream is the sharded online detection runtime: OnlineDetector scaled
@@ -80,15 +130,22 @@ type Stream struct {
 	final  *Report
 }
 
+// ErrClosed is returned by Observe, Advance and Checkpoint after Close
+// or Abort. Check with errors.Is.
+var ErrClosed = stream.ErrClosed
+
 // NewStream starts the sharded runtime. Close must be called to release
 // its goroutines.
 func NewStream(cfg StreamConfig) (*Stream, error) {
 	rt, err := stream.New(stream.Config{
-		Online:     cfg.OnlineConfig.coreOptions(),
-		Shards:     cfg.Shards,
-		QueueDepth: cfg.QueueDepth,
-		DropOnFull: cfg.DropOnFull,
-		FlushLag:   simnet.FromStdDuration(cfg.FlushLag),
+		Online:          cfg.OnlineConfig.coreOptions(),
+		Shards:          cfg.Shards,
+		QueueDepth:      cfg.QueueDepth,
+		DropOnFull:      cfg.DropOnFull,
+		FlushLag:        simnet.FromStdDuration(cfg.FlushLag),
+		CheckpointDir:   cfg.CheckpointDir,
+		CheckpointEvery: simnet.FromStdDuration(cfg.CheckpointEvery),
+		Resume:          cfg.Resume,
 	})
 	if err != nil {
 		return nil, err
@@ -129,9 +186,50 @@ func (s *Stream) Observe(r Record) error {
 
 // Advance manually moves the watermark to now, closing every interval
 // ending at or before it. Useful when the feed goes quiet and the
-// trace clock stalls; Observe advances automatically otherwise.
-func (s *Stream) Advance(now time.Duration) {
+// trace clock stalls; Observe advances automatically otherwise. Returns
+// ErrClosed after Close or Abort.
+func (s *Stream) Advance(now time.Duration) error {
+	if s.closed {
+		return ErrClosed
+	}
 	s.rt.Advance(simnet.FromStdDuration(now))
+	return nil
+}
+
+// Checkpoint takes an explicit consistent cut covering every record
+// accepted so far and, when CheckpointDir is set, writes it durably. A
+// returned error means the cut was abandoned; the previous checkpoint
+// file, if any, stays valid. Returns ErrClosed after Close or Abort.
+func (s *Stream) Checkpoint() error {
+	if s.closed {
+		return ErrClosed
+	}
+	return s.rt.Checkpoint()
+}
+
+// Abort hard-stops the stream without sealing intervals, emitting final
+// alerts or writing a final checkpoint — the shutdown shape of a crash.
+// State persisted by earlier checkpoints stays on disk for a later
+// NewStream with Resume. Idempotent; a no-op after Close; Close after
+// Abort returns nil.
+func (s *Stream) Abort() {
+	if s.closed {
+		return
+	}
+	s.rt.Abort()
+	s.closed = true
+}
+
+// ResumeInfo reports what NewStream restored when StreamConfig.Resume
+// was set (the zero value for a cold start).
+func (s *Stream) ResumeInfo() StreamResumeInfo {
+	info := s.rt.ResumeInfo()
+	return StreamResumeInfo{
+		Resumed:     info.Resumed,
+		Watermark:   simnet.Std(simnet.Duration(info.Watermark)),
+		SkipRecords: info.SkipRecords,
+		Warnings:    info.Warnings,
+	}
 }
 
 // Alerts returns the merged, time-ordered alert stream. Closed by Close
@@ -151,6 +249,13 @@ func (s *Stream) Metrics() StreamMetrics {
 		Freezes:         m.Freezes,
 		Reestimates:     m.Reestimates,
 		QueueDepth:      m.QueueDepth,
+
+		Checkpoints:       m.Checkpoints,
+		CheckpointsFailed: m.CheckpointsFailed,
+		ShardRestarts:     m.ShardRestarts,
+		DegradedShards:    m.DegradedShards,
+		RecordsLost:       m.RecordsLost,
+		AlertsLost:        m.AlertsLost,
 	}
 }
 

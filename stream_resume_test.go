@@ -1,0 +1,139 @@
+package transientbd
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestStreamCheckpointResumeEquivalence extends the batch-equivalence
+// oracle across a crash: feed part of the workload, checkpoint, kill the
+// runtime without any graceful shutdown, resume a fresh one from disk,
+// feed the rest from the reported cursor — the final report must still
+// equal the batch report bit-for-bit, for every harness workload.
+func TestStreamCheckpointResumeEquivalence(t *testing.T) {
+	for _, wl := range streamWorkloads {
+		t.Run(wl.name, func(t *testing.T) {
+			recs := wl.gen(42)
+			sortRecords(recs) // departure order, as a passive tracer feeds
+			want := batchReference(t, recs)
+
+			dir := t.TempDir()
+			cfg := StreamConfig{
+				OnlineConfig: OnlineConfig{
+					Window:       20 * time.Minute,
+					ServiceTimes: streamServiceTimes,
+				},
+				Shards:        4,
+				FlushLag:      time.Hour,
+				CheckpointDir: dir,
+			}
+			st, err := NewStream(cfg)
+			if err != nil {
+				t.Fatalf("NewStream: %v", err)
+			}
+			go func() {
+				for range st.Alerts() {
+				}
+			}()
+			cut := len(recs) / 2
+			for _, r := range recs[:cut] {
+				if err := st.Observe(r); err != nil {
+					t.Fatalf("Observe: %v", err)
+				}
+			}
+			if err := st.Checkpoint(); err != nil {
+				t.Fatalf("Checkpoint: %v", err)
+			}
+			st.Abort() // crash: nothing sealed, no final checkpoint
+
+			cfg.Resume = true
+			st2, err := NewStream(cfg)
+			if err != nil {
+				t.Fatalf("NewStream(resume): %v", err)
+			}
+			go func() {
+				for range st2.Alerts() {
+				}
+			}()
+			info := st2.ResumeInfo()
+			if !info.Resumed {
+				t.Fatal("ResumeInfo.Resumed = false after an explicit checkpoint")
+			}
+			if info.SkipRecords != int64(cut) {
+				t.Fatalf("SkipRecords = %d, want %d (the cut covered every accepted record)",
+					info.SkipRecords, cut)
+			}
+			if len(info.Warnings) != 0 {
+				t.Fatalf("clean resume produced warnings: %v", info.Warnings)
+			}
+			for _, r := range recs[info.SkipRecords:] {
+				if err := st2.Observe(r); err != nil {
+					t.Fatalf("Observe after resume: %v", err)
+				}
+			}
+			compareReports(t, want, st2.Close())
+		})
+	}
+}
+
+// TestStreamClosedErrors pins the misuse contract: every producer call
+// after Close or Abort fails with ErrClosed (never panics, never
+// silently no-ops into wrong results), and Close stays idempotent.
+func TestStreamClosedErrors(t *testing.T) {
+	st, err := NewStream(StreamConfig{OnlineConfig: OnlineConfig{ServiceTimes: streamServiceTimes}})
+	if err != nil {
+		t.Fatalf("NewStream: %v", err)
+	}
+	go func() {
+		for range st.Alerts() {
+		}
+	}()
+	if err := st.Observe(Record{Server: "a", Arrive: 0, Depart: 3 * time.Millisecond}); err != nil {
+		t.Fatalf("Observe: %v", err)
+	}
+	first := st.Close()
+	if oerr := st.Observe(Record{Server: "a", Arrive: 0, Depart: time.Millisecond}); !errors.Is(oerr, ErrClosed) {
+		t.Errorf("Observe after Close = %v, want ErrClosed", oerr)
+	}
+	if aerr := st.Advance(time.Second); !errors.Is(aerr, ErrClosed) {
+		t.Errorf("Advance after Close = %v, want ErrClosed", aerr)
+	}
+	if cerr := st.Checkpoint(); !errors.Is(cerr, ErrClosed) {
+		t.Errorf("Checkpoint after Close = %v, want ErrClosed", cerr)
+	}
+	st.Abort() // must be a no-op, not a panic
+	if again := st.Close(); again != first {
+		t.Errorf("Close after Close returned a different report")
+	}
+
+	// The same contract after Abort instead of Close.
+	st2, err := NewStream(StreamConfig{OnlineConfig: OnlineConfig{ServiceTimes: streamServiceTimes}})
+	if err != nil {
+		t.Fatalf("NewStream: %v", err)
+	}
+	go func() {
+		for range st2.Alerts() {
+		}
+	}()
+	st2.Abort()
+	st2.Abort() // idempotent
+	if oerr := st2.Observe(Record{Server: "a", Arrive: 0, Depart: time.Millisecond}); !errors.Is(oerr, ErrClosed) {
+		t.Errorf("Observe after Abort = %v, want ErrClosed", oerr)
+	}
+	if report := st2.Close(); report != nil {
+		t.Errorf("Close after Abort = %+v, want nil (nothing was sealed)", report)
+	}
+}
+
+// TestStreamResumeRequiresDir: Resume without a checkpoint directory is
+// a configuration contradiction and must fail loudly at construction.
+func TestStreamResumeRequiresDir(t *testing.T) {
+	_, err := NewStream(StreamConfig{
+		OnlineConfig: OnlineConfig{ServiceTimes: streamServiceTimes},
+		Resume:       true,
+	})
+	if err == nil {
+		t.Fatal("NewStream(Resume, no CheckpointDir) succeeded")
+	}
+}
