@@ -1,0 +1,242 @@
+// dashboard demonstrates operating tbdetect -follow as a live service:
+// it simulates an n-tier run, streams the visit trace into the online
+// detector with the HTTP serving layer enabled (-listen), and then acts
+// as a minimal dashboard client — checking the health and readiness
+// probes, polling the /report snapshot, fetching one server's
+// per-interval series, and subscribing to the /alerts SSE stream until
+// the feed ends and the server drains cleanly.
+//
+// The same endpoints drive real dashboards and orchestrators; see
+// docs/operations.md for deployment guidance and docs/api.md for the
+// JSON shapes.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"time"
+
+	"transientbd/internal/cli"
+)
+
+// lockedBuffer is a goroutine-safe writer: TBDetect writes diagnostics
+// to it from the serving goroutine while run polls it for the bound
+// listen address.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenRe = regexp.MustCompile(`listening on http://(\S+)`)
+
+// run is the whole example; main and the Example test share it.
+func run(out io.Writer) error {
+	// 1. Simulate the testbed and write its passive visit trace.
+	dir, err := os.MkdirTemp("", "dashboard")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	tracePath := filepath.Join(dir, "visits.jsonl")
+	var simOut, simErr bytes.Buffer
+	if err := cli.NtierSim([]string{
+		"-users", "2000", "-duration", "12s", "-ramp", "3s",
+		"-speedstep", "-seed", "7", "-out", tracePath,
+	}, &simOut, &simErr); err != nil {
+		return fmt.Errorf("simulate: %w", err)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "trace: ok")
+
+	// 2. Start the served detector, feeding the trace through a pipe so
+	// this process can probe the endpoints while ingestion is live.
+	// (In production the feed is your tracer and the client is a real
+	// dashboard; both sides are plain HTTP.)
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		return err
+	}
+	savedStdin := os.Stdin
+	os.Stdin = pr
+	defer func() { os.Stdin = savedStdin }()
+
+	var detOut bytes.Buffer
+	var detErr lockedBuffer
+	detDone := make(chan error, 1)
+	go func() {
+		detDone <- cli.TBDetect([]string{
+			"-follow", "-shards", "4", "-listen", "127.0.0.1:0",
+		}, &detOut, &detErr)
+	}()
+
+	base := ""
+	for deadline := time.Now().Add(15 * time.Second); ; {
+		if m := listenRe.FindStringSubmatch(detErr.String()); m != nil {
+			base = "http://" + m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server never announced its address; stderr: %s", detErr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	fmt.Fprintln(out, "serving: ok")
+
+	// 3. Subscribe to the alert stream before any data flows, so every
+	// alert the run produces is delivered to this subscriber.
+	alertResp, err := http.Get(base + "/alerts")
+	if err != nil {
+		return fmt.Errorf("subscribe /alerts: %w", err)
+	}
+	defer alertResp.Body.Close()
+	type sse struct{ name string }
+	events := make(chan sse, 256)
+	go func() {
+		defer close(events)
+		var name string
+		sc := bufio.NewScanner(alertResp.Body)
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				name = strings.TrimPrefix(line, "event: ")
+			case line == "" && name != "":
+				events <- sse{name}
+				name = ""
+			}
+		}
+	}()
+
+	// 4. Feed most of the trace, paced the way a live tracer would
+	// deliver it (the /report snapshot republishes about once a second,
+	// as batches arrive), keeping the pipe open so the pipeline stays
+	// live while the dashboard client works.
+	split := len(data) * 3 / 4
+	feedDone := make(chan struct{})
+	go func() {
+		defer close(feedDone)
+		const chunks = 10
+		for i := 0; i < chunks; i++ {
+			lo, hi := split*i/chunks, split*(i+1)/chunks
+			if _, err := pw.Write(data[lo:hi]); err != nil {
+				return
+			}
+			time.Sleep(200 * time.Millisecond)
+		}
+	}()
+
+	// 5. Probe it like an orchestrator would.
+	getOK := func(path string) (string, error) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("GET %s: %d %s", path, resp.StatusCode, body)
+		}
+		return string(body), nil
+	}
+	if _, err := getOK("/healthz"); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "health: ok")
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		if _, err := getOK("/readyz"); err == nil {
+			break
+		} else if time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	fmt.Fprintln(out, "ready: ok")
+
+	// 6. Poll /report until the first snapshot lands, then pull the
+	// worst-ranked server's fine-grained series — the data a dashboard
+	// would plot.
+	serverRe := regexp.MustCompile(`"server": "([^"]+)"`)
+	var worst string
+	for deadline := time.Now().Add(30 * time.Second); ; {
+		body, err := getOK("/report")
+		if err == nil {
+			if m := serverRe.FindStringSubmatch(body); m != nil {
+				worst = m[1]
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("no populated /report snapshot: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	fmt.Fprintln(out, "live report: ok")
+	series, err := getOK("/servers/" + worst + "/series")
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(series, `"states"`) {
+		return fmt.Errorf("series for %s has no states: %.120s", worst, series)
+	}
+	fmt.Fprintln(out, "series: ok")
+
+	// 7. Finish the feed. EOF drains the pipeline: remaining intervals
+	// seal, their alerts stream out, the final snapshot publishes, and
+	// the SSE stream closes with an "end" event.
+	<-feedDone
+	if _, err := pw.Write(data[split:]); err != nil {
+		return err
+	}
+	pw.Close()
+	if err := <-detDone; err != nil {
+		return fmt.Errorf("tbdetect: %w", err)
+	}
+	alerts, end := 0, false
+	for ev := range events {
+		switch ev.name {
+		case "alert":
+			alerts++
+		case "end":
+			end = true
+		}
+	}
+	if alerts == 0 || !end {
+		return fmt.Errorf("alert stream: %d alerts, end=%v", alerts, end)
+	}
+	fmt.Fprintln(out, "sse alerts: ok")
+	if !strings.Contains(detOut.String(), "final snapshot") {
+		return fmt.Errorf("no final snapshot in output:\n%s", detOut.String())
+	}
+	fmt.Fprintln(out, "clean exit: ok")
+	return nil
+}
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dashboard:", err)
+		os.Exit(1)
+	}
+}

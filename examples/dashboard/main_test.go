@@ -1,0 +1,21 @@
+package main
+
+import "os"
+
+// Example guards the dashboard walkthrough end to end: a drift in the
+// serving layer, the probes, the JSON API or the SSE stream breaks this
+// test, not just the README's promises.
+func Example() {
+	if err := run(os.Stdout); err != nil {
+		panic(err)
+	}
+	// Output:
+	// trace: ok
+	// serving: ok
+	// health: ok
+	// ready: ok
+	// live report: ok
+	// series: ok
+	// sse alerts: ok
+	// clean exit: ok
+}

@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"transientbd/internal/core"
+	"transientbd/internal/serve"
 	"transientbd/internal/simnet"
 	"transientbd/internal/stream"
 	"transientbd/internal/trace"
@@ -36,6 +38,15 @@ type followOpts struct {
 	// stop, when non-nil, replaces the SIGINT/SIGTERM handler — closing
 	// it triggers the graceful-shutdown path (tests inject it).
 	stop <-chan struct{}
+
+	// listen, when non-empty, starts the HTTP serving layer on that
+	// address (port 0 picks a free one). publishEvery is the wall-clock
+	// cadence at which the ingest loop publishes merged snapshots to
+	// /report (default 1s); listenReady, when non-nil, receives the bound
+	// address once the listener is up (tests and examples hook it).
+	listen       string
+	publishEvery time.Duration
+	listenReady  func(addr string)
 }
 
 // errInterrupted aborts ingestion from inside the stream callback when a
@@ -89,6 +100,34 @@ func runFollow(r io.Reader, stdout, stderr io.Writer, opts followOpts) error {
 		}
 	}
 
+	// Serving layer: everything it reads is either any-goroutine-safe
+	// (Metrics, ShardHealth) or published explicitly from this goroutine
+	// (snapshots, via atomic pointer swap), so attaching it adds nothing
+	// to the shard hot path. The deferred Shutdown covers the error paths;
+	// it is idempotent, so the graceful path below may also call it.
+	var srv *serve.Server
+	if opts.listen != "" {
+		srv = serve.New(serve.Config{Metrics: rt.Metrics, Health: rt.ShardHealth})
+		addr, lerr := srv.Start(opts.listen)
+		if lerr != nil {
+			rt.Abort()
+			return fmt.Errorf("tbdetect: listen: %w", lerr)
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx) //nolint:errcheck // best-effort drain on exit
+		}()
+		fmt.Fprintf(stderr, "tbdetect: listening on http://%s\n", addr)
+		if opts.listenReady != nil {
+			opts.listenReady(addr)
+		}
+	}
+	publishEvery := opts.publishEvery
+	if publishEvery <= 0 {
+		publishEvery = time.Second
+	}
+
 	stop := opts.stop
 	if stop == nil {
 		sig := make(chan os.Signal, 1)
@@ -118,6 +157,9 @@ func runFollow(r io.Reader, stdout, stderr io.Writer, opts followOpts) error {
 			if a.State != core.StateCongested {
 				continue
 			}
+			if srv != nil {
+				srv.PublishAlert(a)
+			}
 			alerts++
 			verdict := "CONGESTED"
 			if a.POI {
@@ -130,16 +172,26 @@ func runFollow(r io.Reader, stdout, stderr io.Writer, opts followOpts) error {
 	}()
 
 	start := time.Now()
+	if srv != nil {
+		srv.SetReady(true)
+	}
 	ioOpts := traceio.StreamOptions{Policy: traceio.Strict}
 	if opts.lenient {
 		ioOpts.Policy = traceio.Skip
 	}
 	var invalid, skipped int64
+	var lastPub time.Time
 	stats, err := traceio.StreamVisitsOpts(r, ioOpts, func(batch []trace.Visit) error {
 		select {
 		case <-stop:
 			return errInterrupted
 		default:
+		}
+		if srv != nil && time.Since(lastPub) >= publishEvery {
+			// Snapshot here, on the producer goroutine (the runtime's
+			// single-producer contract); the server only swaps a pointer.
+			srv.PublishSnapshot(rt.Snapshot())
+			lastPub = time.Now()
 		}
 		for i := range batch {
 			if skipped < skip {
@@ -161,6 +213,11 @@ func runFollow(r io.Reader, stdout, stderr io.Writer, opts followOpts) error {
 		return nil
 	})
 	interrupted := errors.Is(err, errInterrupted)
+	if srv != nil {
+		// Drain starts: flip readiness off first so orchestrators stop
+		// routing, then seal and serve the final state until Shutdown.
+		srv.SetReady(false)
+	}
 	if err != nil && !interrupted {
 		rt.Close()
 		<-done
@@ -172,6 +229,9 @@ func runFollow(r io.Reader, stdout, stderr io.Writer, opts followOpts) error {
 
 	snap := rt.Close()
 	<-done
+	if srv != nil {
+		srv.PublishSnapshot(snap)
+	}
 	elapsed := time.Since(start)
 
 	fmt.Fprintf(stdout, "\nfollow: %d congestion alerts (%d freezes) from %d closed intervals\n",

@@ -1,0 +1,163 @@
+package serve
+
+// docs/api.md is generated-example-tested: every JSON example in it is
+// tagged with an HTML comment marker (<!-- api:NAME -->) immediately
+// before its fenced code block, and this test renders the same response
+// from the fixture server and requires semantic equality. Change a JSON
+// field in the handlers and this test fails until docs/api.md follows;
+// document an example the fixtures can't produce and it fails too.
+//
+// To regenerate the examples after an intentional API change:
+//
+//	APIDOC_DUMP=1 go test ./internal/serve/ -run TestAPIDocExamples -v
+//
+// and paste the printed blocks into docs/api.md.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"reflect"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const apiDocPath = "../../docs/api.md"
+
+// fixtureBody renders one GET against the fully-populated fixture
+// server.
+func fixtureBody(t *testing.T, path string) string {
+	t.Helper()
+	s := fixtureServer()
+	s.PublishSnapshot(fixtureSnapshot())
+	s.SetReady(true)
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	return rec.Body.String()
+}
+
+// apiExamples maps marker name → the authoritative response body the
+// documented example must match.
+func apiExamples(t *testing.T) map[string]string {
+	t.Helper()
+	mustJSON := func(v any) string {
+		b, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			t.Fatalf("marshal example: %v", err)
+		}
+		return string(b)
+	}
+	return map[string]string{
+		"report":        fixtureBody(t, "/report"),
+		"series":        fixtureBody(t, "/servers/mysql-1/series"),
+		"healthz":       fixtureBody(t, "/healthz"),
+		"readyz":        fixtureBody(t, "/readyz"),
+		"series-error":  fixtureBody(t, "/servers/nosuch/series"),
+		"alert-event":   mustJSON(alertJSON(fixtureAlert())),
+		"dropped-event": mustJSON(DroppedJSON{Dropped: 2}),
+	}
+}
+
+// fenceRe matches a marker and its immediately following fenced block.
+var fenceRe = regexp.MustCompile("(?s)<!-- api:([a-z-]+) -->\\s*```[a-z]*\n(.*?)```")
+
+func TestAPIDocExamples(t *testing.T) {
+	want := apiExamples(t)
+	if os.Getenv("APIDOC_DUMP") != "" {
+		for name, body := range want {
+			t.Logf("<!-- api:%s -->\n```json\n%s\n```", name, strings.TrimRight(body, "\n"))
+		}
+	}
+
+	doc, err := os.ReadFile(apiDocPath)
+	if err != nil {
+		t.Fatalf("read %s: %v", apiDocPath, err)
+	}
+	documented := make(map[string]string)
+	for _, m := range fenceRe.FindAllStringSubmatch(string(doc), -1) {
+		documented[m[1]] = m[2]
+	}
+
+	for name, wantBody := range want {
+		gotBody, ok := documented[name]
+		if !ok {
+			t.Errorf("docs/api.md has no <!-- api:%s --> example", name)
+			continue
+		}
+		var wantV, gotV any
+		if err := json.Unmarshal([]byte(wantBody), &wantV); err != nil {
+			t.Fatalf("handler output for %s is not JSON: %v", name, err)
+		}
+		if err := json.Unmarshal([]byte(gotBody), &gotV); err != nil {
+			t.Errorf("docs/api.md example %s is not valid JSON: %v", name, err)
+			continue
+		}
+		if !reflect.DeepEqual(wantV, gotV) {
+			t.Errorf("docs/api.md example %s no longer matches real handler output\ndocumented:\n%s\nactual:\n%s",
+				name, gotBody, wantBody)
+		}
+	}
+	for name := range documented {
+		if name == "metrics-excerpt" {
+			continue // asserted line-by-line below
+		}
+		if _, ok := want[name]; !ok {
+			t.Errorf("docs/api.md documents <!-- api:%s --> but the test has no authoritative rendering for it (add one to apiExamples)", name)
+		}
+	}
+
+	// The /metrics excerpt is Prometheus text, not JSON: every sample
+	// line documented must appear verbatim in a real scrape of the
+	// fixture server.
+	excerpt, ok := documented["metrics-excerpt"]
+	if !ok {
+		t.Fatal("docs/api.md has no <!-- api:metrics-excerpt --> example")
+	}
+	scrape := fixtureBody(t, "/metrics")
+	for _, line := range strings.Split(excerpt, "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		if !strings.Contains(scrape, line+"\n") {
+			t.Errorf("docs/api.md metrics excerpt line %q does not appear in a real scrape", line)
+		}
+	}
+}
+
+// TestDocsReachableFromReadme requires every file under docs/ to be
+// linked (directly or transitively) from the README, so nothing under
+// docs/ can silently orphan.
+func TestDocsReachableFromReadme(t *testing.T) {
+	entries, err := os.ReadDir("../../docs")
+	if err != nil {
+		t.Fatalf("read docs/: %v", err)
+	}
+	readme, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatalf("read README.md: %v", err)
+	}
+	// Reachable = linked from README or from another docs page that is
+	// itself reachable; one level of indirection is enough for this tree.
+	corpus := string(readme)
+	for _, e := range entries {
+		if strings.Contains(string(readme), e.Name()) {
+			b, err := os.ReadFile("../../docs/" + e.Name())
+			if err != nil {
+				t.Fatalf("read docs/%s: %v", e.Name(), err)
+			}
+			corpus += string(b)
+		}
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".md") {
+			continue
+		}
+		if !strings.Contains(corpus, e.Name()) {
+			t.Errorf("docs/%s is not linked from README.md (or any page README links)", e.Name())
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"transientbd/internal/stream"
+)
+
+// promMetric is one exported metric family: name, type, help, and a
+// renderer for its sample lines. The table is ordered and append-only —
+// dashboards and alerting rules key on these names, so
+// TestMetricNameStability pins them.
+type promMetric struct {
+	name, kind, help string
+	render           func(s *Server, m stream.Metrics, w *strings.Builder)
+}
+
+func sample(w *strings.Builder, name string, v int64) {
+	w.WriteString(name)
+	w.WriteByte(' ')
+	w.WriteString(strconv.FormatInt(v, 10))
+	w.WriteByte('\n')
+}
+
+func sampleF(w *strings.Builder, name string, v float64) {
+	fmt.Fprintf(w, "%s %g\n", name, v)
+}
+
+func intMetric(name string, get func(s *Server, m stream.Metrics) int64) func(*Server, stream.Metrics, *strings.Builder) {
+	return func(s *Server, m stream.Metrics, w *strings.Builder) { sample(w, name, get(s, m)) }
+}
+
+// promTable is the full exported metric set, in output order.
+var promTable = []promMetric{
+	{"tbdetect_shards", "gauge", "Configured shard goroutine count.",
+		intMetric("tbdetect_shards", func(_ *Server, m stream.Metrics) int64 { return int64(m.Shards) })},
+	{"tbdetect_records_ingested_total", "counter", "Records accepted into shard queues.",
+		intMetric("tbdetect_records_ingested_total", func(_ *Server, m stream.Metrics) int64 { return m.Ingested })},
+	{"tbdetect_records_dropped_total", "counter", "Records discarded by the drop-on-full backpressure policy.",
+		intMetric("tbdetect_records_dropped_total", func(_ *Server, m stream.Metrics) int64 { return m.Dropped })},
+	{"tbdetect_records_late_total", "counter", "Records that arrived after their completion interval was sealed.",
+		intMetric("tbdetect_records_late_total", func(_ *Server, m stream.Metrics) int64 { return m.Late })},
+	{"tbdetect_records_lost_total", "counter", "Records lost to shard rebuilds or degraded shards (accounted, never silent).",
+		intMetric("tbdetect_records_lost_total", func(_ *Server, m stream.Metrics) int64 { return m.RecordsLost })},
+	{"tbdetect_intervals_closed_total", "counter", "Per-server monitoring interval closures.",
+		intMetric("tbdetect_intervals_closed_total", func(_ *Server, m stream.Metrics) int64 { return m.IntervalsClosed })},
+	{"tbdetect_intervals_congested_total", "counter", "Interval closures classified congested.",
+		intMetric("tbdetect_intervals_congested_total", func(_ *Server, m stream.Metrics) int64 { return m.Congested })},
+	{"tbdetect_freezes_total", "counter", "Congested interval closures with near-zero throughput (POIs).",
+		intMetric("tbdetect_freezes_total", func(_ *Server, m stream.Metrics) int64 { return m.Freezes })},
+	{"tbdetect_nstar_reestimates_total", "counter", "N* re-estimations across all servers.",
+		intMetric("tbdetect_nstar_reestimates_total", func(_ *Server, m stream.Metrics) int64 { return m.Reestimates })},
+	{"tbdetect_checkpoints_written_total", "counter", "Durable checkpoint cuts written.",
+		intMetric("tbdetect_checkpoints_written_total", func(_ *Server, m stream.Metrics) int64 { return m.Checkpoints })},
+	{"tbdetect_checkpoints_failed_total", "counter", "Checkpoint attempts abandoned (the previous file is kept).",
+		intMetric("tbdetect_checkpoints_failed_total", func(_ *Server, m stream.Metrics) int64 { return m.CheckpointsFailed })},
+	{"tbdetect_checkpoint_age_seconds", "gauge", "Wall-clock seconds since the last successful checkpoint (absent before the first).",
+		func(s *Server, m stream.Metrics, w *strings.Builder) {
+			if m.LastCheckpointWall > 0 {
+				sampleF(w, "tbdetect_checkpoint_age_seconds",
+					s.cfg.Now().Sub(time.Unix(0, m.LastCheckpointWall)).Seconds())
+			}
+		}},
+	{"tbdetect_shard_restarts_total", "counter", "Shard quarantine/rebuild cycles after a panic.",
+		intMetric("tbdetect_shard_restarts_total", func(_ *Server, m stream.Metrics) int64 { return m.ShardRestarts })},
+	{"tbdetect_degraded_shards", "gauge", "Shards past the crash-loop budget, now dropping with accounting.",
+		intMetric("tbdetect_degraded_shards", func(_ *Server, m stream.Metrics) int64 { return m.DegradedShards })},
+	{"tbdetect_alerts_lost_total", "counter", "Interval closures discarded because their shard failed mid-barrier.",
+		intMetric("tbdetect_alerts_lost_total", func(_ *Server, m stream.Metrics) int64 { return m.AlertsLost })},
+	{"tbdetect_shard_queue_depth", "gauge", "Queued records per shard.",
+		func(_ *Server, m stream.Metrics, w *strings.Builder) {
+			for i, d := range m.QueueDepth {
+				fmt.Fprintf(w, "tbdetect_shard_queue_depth{shard=%q} %d\n", strconv.Itoa(i), d)
+			}
+		}},
+	{"tbdetect_watermark_lag_seconds", "gauge", "Trace-time gap between the newest departure and the interval-closing watermark.",
+		func(_ *Server, m stream.Metrics, w *strings.Builder) {
+			lag := float64(m.MaxDepart-m.Watermark) / 1e6
+			if m.MaxDepart == 0 || lag < 0 {
+				lag = 0
+			}
+			sampleF(w, "tbdetect_watermark_lag_seconds", lag)
+		}},
+	{"tbdetect_snapshot_age_seconds", "gauge", "Wall-clock seconds since the last published /report snapshot (absent before the first).",
+		func(s *Server, _ stream.Metrics, w *strings.Builder) {
+			if pub := s.snap.Load(); pub != nil {
+				sampleF(w, "tbdetect_snapshot_age_seconds", s.cfg.Now().Sub(pub.at).Seconds())
+			}
+		}},
+	{"tbdetect_ready", "gauge", "Readiness bit: 1 while ingesting, 0 during startup and drain.",
+		func(s *Server, _ stream.Metrics, w *strings.Builder) {
+			v := int64(0)
+			if s.ready.Load() {
+				v = 1
+			}
+			sample(w, "tbdetect_ready", v)
+		}},
+	{"tbdetect_sse_subscribers", "gauge", "Currently connected /alerts subscribers.",
+		func(s *Server, _ stream.Metrics, w *strings.Builder) {
+			sample(w, "tbdetect_sse_subscribers", int64(s.hub.count()))
+		}},
+	{"tbdetect_sse_published_total", "counter", "Alerts offered to the /alerts fan-out.",
+		func(s *Server, _ stream.Metrics, w *strings.Builder) {
+			sample(w, "tbdetect_sse_published_total", s.hub.totalPublished.Load())
+		}},
+	{"tbdetect_sse_dropped_total", "counter", "Alerts lost to full subscriber queues, across all subscribers.",
+		func(s *Server, _ stream.Metrics, w *strings.Builder) {
+			sample(w, "tbdetect_sse_dropped_total", s.hub.totalDropped.Load())
+		}},
+}
+
+// MetricNames lists every exported metric family name, in output order
+// (the stability contract TestMetricNameStability pins).
+func MetricNames() []string {
+	names := make([]string, len(promTable))
+	for i, m := range promTable {
+		names[i] = m.name
+	}
+	return names
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.cfg.Metrics()
+	var b strings.Builder
+	for _, pm := range promTable {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", pm.name, pm.help, pm.name, pm.kind)
+		pm.render(s, m, &b)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(b.String())) //nolint:errcheck // client gone mid-body
+}

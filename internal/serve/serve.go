@@ -1,0 +1,167 @@
+// Package serve is the live serving layer over the sharded online
+// detection runtime: the piece that turns tbdetect -follow from a
+// printer into an operable service. It exposes the runtime's
+// self-metrics in Prometheus text form (/metrics), container-probe
+// endpoints backed by per-shard liveness heartbeats and a readiness bit
+// (/healthz, /readyz), a JSON query API over the merged snapshot
+// (/report, /servers/{id}/series), and a streaming alert subscription
+// over Server-Sent Events (/alerts) with per-subscriber bounded queues
+// and drop accounting.
+//
+// # Isolation from the hot path
+//
+// The server never touches shard state. Everything it serves comes from
+// three read-only surfaces that are safe from any goroutine: the
+// runtime's atomic self-metrics counters (Config.Metrics), the per-shard
+// heartbeat samples (Config.Health), and snapshots the producer
+// publishes explicitly via PublishSnapshot (an atomic pointer swap).
+// Alert fan-out happens on the alert-consumer goroutine via
+// PublishAlert with non-blocking sends: a slow subscriber drops alerts
+// from its own queue — with accounting — and can never backpressure the
+// detector. Attaching the server adds zero locks and zero allocations
+// to the shard ingest path; TestServeObserverPurity and the
+// BenchmarkIngest pair in this package keep that honest.
+//
+// # Lifecycle
+//
+// New → Start → (SetReady(true) … serve … SetReady(false)) → Shutdown.
+// Shutdown first closes every alert subscription (each SSE handler
+// finishes its stream with an "end" event) and then gracefully shuts
+// down the HTTP listener, so it composes with the runtime's existing
+// SIGTERM drain sequence: stop ingesting, seal intervals, publish the
+// final snapshot, then Shutdown.
+package serve
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"transientbd/internal/stream"
+)
+
+// Config wires a Server to a runtime. Metrics and Health are required;
+// both must be safe to call from any goroutine (stream.Runtime's
+// methods of the same names are).
+type Config struct {
+	// Metrics returns the runtime's self-metrics counter block.
+	Metrics func() stream.Metrics
+	// Health samples every shard's queue depth and liveness heartbeat.
+	Health func() []stream.ShardHealth
+	// StaleAfter is how long a shard may sit on queued work without a
+	// heartbeat before /healthz reports it stalled. Default 10 s. An
+	// idle shard (empty queue) is never stalled.
+	StaleAfter time.Duration
+	// SubscriberQueue bounds each /alerts subscriber's queue, in alerts
+	// (default 256). A subscriber that falls behind loses the overflow
+	// from its own queue — counted per subscriber and surfaced both as
+	// an SSE "dropped" event and in /metrics — rather than slowing the
+	// detector or other subscribers.
+	SubscriberQueue int
+	// Now is the wall clock, injectable for tests. Default time.Now.
+	Now func() time.Time
+}
+
+// published is one snapshot publication: what the producer handed over
+// and when.
+type published struct {
+	snap *stream.Snapshot
+	at   time.Time
+}
+
+// Server is the HTTP serving layer. All exported methods are safe from
+// any goroutine.
+type Server struct {
+	cfg   Config
+	hub   *hub
+	mux   *http.ServeMux
+	httpd *http.Server
+	lis   net.Listener
+
+	snap  atomic.Pointer[published]
+	ready atomic.Bool
+}
+
+// New builds a Server. Start must be called to listen; Handler is
+// usable immediately (tests mount it directly).
+func New(cfg Config) *Server {
+	if cfg.StaleAfter <= 0 {
+		cfg.StaleAfter = 10 * time.Second
+	}
+	if cfg.SubscriberQueue <= 0 {
+		cfg.SubscriberQueue = 256
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	s := &Server{cfg: cfg, hub: newHub(cfg.SubscriberQueue)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /report", s.handleReport)
+	mux.HandleFunc("GET /servers/{id}/series", s.handleSeries)
+	mux.HandleFunc("GET /alerts", s.handleAlerts)
+	mux.HandleFunc("GET /{$}", s.handleIndex)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the route table, for mounting in tests.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr (host:port; port 0 picks a free one) and serves
+// in a background goroutine, returning the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.lis = lis
+	s.httpd = &http.Server{Handler: s.mux}
+	go s.httpd.Serve(lis) //nolint:errcheck // ErrServerClosed after Shutdown
+	return lis.Addr().String(), nil
+}
+
+// Shutdown ends the serving layer: every alert subscription is closed
+// (subscribers receive a final "end" event), then the HTTP server shuts
+// down gracefully within ctx. Safe to call without Start (no-op beyond
+// closing subscriptions) and more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.ready.Store(false)
+	s.hub.closeAll()
+	if s.httpd == nil {
+		return nil
+	}
+	if err := s.httpd.Shutdown(ctx); err != nil {
+		s.httpd.Close() //nolint:errcheck // last-resort teardown
+		return err
+	}
+	return nil
+}
+
+// PublishSnapshot hands the server a new merged snapshot to serve from
+// /report and /servers/{id}/series: one atomic pointer swap, called
+// from the producer goroutine at whatever cadence it chooses. A nil
+// snapshot is ignored.
+func (s *Server) PublishSnapshot(snap *stream.Snapshot) {
+	if snap == nil {
+		return
+	}
+	s.snap.Store(&published{snap: snap, at: s.cfg.Now()})
+}
+
+// PublishAlert fans one alert out to every /alerts subscriber with a
+// non-blocking send per subscriber: a full queue drops the alert for
+// that subscriber only, with accounting. Called from the alert-consumer
+// goroutine; never blocks.
+func (s *Server) PublishAlert(a stream.Alert) { s.hub.publish(a) }
+
+// SetReady flips the /readyz readiness bit: true once the runtime is
+// ingesting, false while it drains. Readiness starts false.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Ready reports the current readiness bit.
+func (s *Server) Ready() bool { return s.ready.Load() }

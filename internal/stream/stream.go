@@ -48,6 +48,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"transientbd/internal/core"
 	"transientbd/internal/simnet"
@@ -198,6 +199,16 @@ type Metrics struct {
 	// because their shard failed mid-barrier. Both are zero in a healthy
 	// run: any loss is accounted, never silent.
 	RecordsLost, AlertsLost int64
+	// Watermark is the current interval-closing watermark; MaxDepart is
+	// the newest departure timestamp observed. Their difference is the
+	// watermark lag — how much trace time is still open behind the
+	// freshest data (at least FlushLag in steady state).
+	Watermark, MaxDepart simnet.Time
+	// LastCheckpointWall is the wall-clock time (UnixNano) of the newest
+	// successful durable checkpoint, zero if none has been written (or
+	// restored) yet. Exposed so a serving layer can report checkpoint
+	// age without touching the producer.
+	LastCheckpointWall int64
 }
 
 // String renders the block in the expvar-ish "name value" form the CLI
@@ -290,9 +301,14 @@ type retainedBatch struct {
 }
 
 type shard struct {
-	idx     int
-	in      chan shardMsg
-	queued  atomic.Int64 // records enqueued but not yet processed
+	idx    int
+	in     chan shardMsg
+	queued atomic.Int64 // records enqueued but not yet processed
+	// beat is the wall-clock UnixNano of the last message this shard
+	// finished processing (its liveness heartbeat). A single atomic store
+	// per message keeps the hot path lock- and allocation-free while
+	// letting health probes detect a stalled shard from any goroutine.
+	beat    atomic.Int64
 	servers map[string]*core.Online
 	names   []string // sorted keys of servers
 	mark    simnet.Time
@@ -344,6 +360,40 @@ type Runtime struct {
 	ckptWrites, ckptFailed       atomic.Int64
 	restarts, degradedShards     atomic.Int64
 	recordsLost, alertsLost      atomic.Int64
+	// Mirrors of producer-goroutine state for any-goroutine readers
+	// (Metrics, a serving layer): the watermark, the newest departure,
+	// and the wall time of the last durable checkpoint.
+	markA, maxDepartA atomic.Int64
+	lastCkptWall      atomic.Int64
+}
+
+// ShardHealth is one shard's liveness sample: how many records sit in
+// its queue and when it last finished processing a message. A shard
+// with queued work whose heartbeat has gone stale is stalled; an idle
+// shard (empty queue) is healthy no matter how old its heartbeat, since
+// it has nothing to wake up for. Safe from any goroutine.
+type ShardHealth struct {
+	// Shard is the shard index.
+	Shard int
+	// Queued is the shard's current queued record count.
+	Queued int64
+	// LastActive is the wall-clock time the shard last finished a
+	// message (or the runtime start, if it has processed none yet).
+	LastActive time.Time
+}
+
+// ShardHealth samples every shard's liveness heartbeat. Safe from any
+// goroutine, any time.
+func (r *Runtime) ShardHealth() []ShardHealth {
+	out := make([]ShardHealth, len(r.shards))
+	for i, s := range r.shards {
+		out[i] = ShardHealth{
+			Shard:      i,
+			Queued:     s.queued.Load(),
+			LastActive: time.Unix(0, s.beat.Load()),
+		}
+	}
+	return out
 }
 
 // ResumeInfo describes what New restored when Config.Resume was set.
@@ -401,12 +451,14 @@ func New(cfg Config) (*Runtime, error) {
 	if depth < 1 {
 		depth = 1
 	}
+	now := time.Now().UnixNano()
 	for i := range r.shards {
 		r.shards[i] = &shard{
 			idx:     i,
 			in:      make(chan shardMsg, depth),
 			servers: make(map[string]*core.Online),
 		}
+		r.shards[i].beat.Store(now)
 	}
 	if st != nil {
 		warns = append(warns, r.restore(st)...)
@@ -430,6 +482,9 @@ func (r *Runtime) restore(st *checkpointState) []string {
 	r.epoch = st.Epoch
 	r.mark = st.Mark
 	r.maxDepart = st.MaxDepart
+	r.markA.Store(int64(st.Mark))
+	r.maxDepartA.Store(int64(st.MaxDepart))
+	r.lastCkptWall.Store(time.Now().UnixNano())
 	r.ckptSeq = st.Seq
 	r.lastCkptMark = st.Mark
 	r.observed.Store(st.Observed)
@@ -526,6 +581,7 @@ func (r *Runtime) Observe(v trace.Visit) error {
 	}
 	if v.Depart > r.maxDepart {
 		r.maxDepart = v.Depart
+		r.maxDepartA.Store(int64(v.Depart))
 		iv := r.cfg.Online.Options.Interval
 		if w := ((r.maxDepart - r.cfg.FlushLag) / iv) * iv; w >= r.mark+iv {
 			r.advance(w)
@@ -585,6 +641,7 @@ func (r *Runtime) advance(w simnet.Time) {
 	}
 	r.epoch++
 	r.mark = w
+	r.markA.Store(int64(w))
 	var reply chan shardCkptReply
 	if r.cfg.CheckpointEvery > 0 && w >= r.lastCkptMark+r.cfg.CheckpointEvery {
 		reply = make(chan shardCkptReply, len(r.shards))
@@ -675,6 +732,7 @@ func (r *Runtime) collectCheckpoint(reply chan shardCkptReply) error {
 	}
 	r.ckptSeq = st.Seq
 	r.ckptWrites.Add(1)
+	r.lastCkptWall.Store(time.Now().UnixNano())
 	pruneCheckpoints(r.cfg.CheckpointDir, st.Seq-1)
 	return nil
 }
@@ -704,6 +762,10 @@ func (r *Runtime) Metrics() Metrics {
 		DegradedShards:    r.degradedShards.Load(),
 		RecordsLost:       r.recordsLost.Load(),
 		AlertsLost:        r.alertsLost.Load(),
+
+		Watermark:          simnet.Time(r.markA.Load()),
+		MaxDepart:          simnet.Time(r.maxDepartA.Load()),
+		LastCheckpointWall: r.lastCkptWall.Load(),
 	}
 	for i, s := range r.shards {
 		m.QueueDepth[i] = s.queued.Load()

@@ -23,6 +23,7 @@ package stream
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"transientbd/internal/core"
 	"transientbd/internal/simnet"
@@ -41,6 +42,9 @@ func (r *Runtime) runShard(s *shard) {
 // deliver processes one message, recovering from panics: quarantine,
 // rebuild, replay, retry once, then abandon the message with accounting.
 func (r *Runtime) deliver(s *shard, msg shardMsg) {
+	// Liveness heartbeat: one atomic store per message (so per ~batchSize
+	// records) — no locks and no allocations on the ingest hot path.
+	defer func() { s.beat.Store(time.Now().UnixNano()) }()
 	if msg.batch != nil {
 		defer s.queued.Add(-int64(len(msg.batch)))
 	}
