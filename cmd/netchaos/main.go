@@ -1,0 +1,69 @@
+// Command netchaos is a frame-aware TCP fault injector for the
+// agent↔merge-head wire protocol: put it between agents and the head to
+// drop, duplicate or delay frames, tear connections mid-frame, or
+// blackhole everything (partition) — the faults the robustness contract
+// promises to survive. CI's net-chaos job runs agents through it and
+// asserts the merged alert stream still matches a fault-free run.
+//
+// Usage:
+//
+//	netchaos -listen 127.0.0.1:7601 -upstream 127.0.0.1:7600 -drop 13 -kill 31
+//
+// Signals: SIGUSR1 partitions (silence, no close), SIGUSR2 heals,
+// SIGINT/SIGTERM exit. Stats print on exit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"transientbd/internal/chaos"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:7601", "address agents dial")
+		upstream = flag.String("upstream", "", "merge head address to forward to (required)")
+		drop     = flag.Int64("drop", 0, "drop every Nth agent→head frame (0 = off)")
+		dup      = flag.Int64("dup", 0, "duplicate every Nth agent→head frame (0 = off)")
+		delay    = flag.Duration("delay", 0, "delay before forwarding each agent→head frame (0 = off)")
+		kill     = flag.Int64("kill", 0, "tear the connection down mid-frame on every Nth frame (0 = off)")
+	)
+	flag.Parse()
+	if *upstream == "" {
+		fmt.Fprintln(os.Stderr, "netchaos: -upstream is required")
+		os.Exit(1)
+	}
+	p, err := chaos.NewProxy(*listen, *upstream)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "netchaos: %v\n", err)
+		os.Exit(1)
+	}
+	p.DropEvery, p.DupEvery, p.Delay, p.KillEvery = *drop, *dup, *delay, *kill
+	fmt.Fprintf(os.Stderr, "netchaos: %s -> %s (drop=%d dup=%d delay=%v kill=%d)\n",
+		p.Addr(), *upstream, *drop, *dup, *delay, *kill)
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGUSR1, syscall.SIGUSR2)
+	for s := range sig {
+		switch s {
+		case syscall.SIGUSR1:
+			p.Partition()
+			fmt.Fprintln(os.Stderr, "netchaos: partitioned (traffic blackholed, connections held open)")
+		case syscall.SIGUSR2:
+			p.Heal()
+			fmt.Fprintln(os.Stderr, "netchaos: healed (held bytes resuming)")
+		default:
+			p.Close()
+			// Give stragglers a beat so the counters are settled.
+			time.Sleep(50 * time.Millisecond)
+			fmt.Fprintf(os.Stderr, "netchaos: done: %d frames, %d dropped, %d duplicated, %d killed\n",
+				p.Frames(), p.Dropped(), p.Duped(), p.Killed())
+			return
+		}
+	}
+}

@@ -6,6 +6,11 @@
 // Usage:
 //
 //	ntiersim -users 8000 -out trace.jsonl && tbdetect -in trace.jsonl
+//
+// Distributed ingestion splits the pipeline across hosts:
+//
+//	tbdetect merge -listen :7600 -expect web1,app1,db1   # merge head
+//	tbdetect agent -node web1 -head head:7600 -in -      # one per host
 package main
 
 import (
@@ -16,7 +21,17 @@ import (
 )
 
 func main() {
-	if err := cli.TBDetect(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	args := os.Args[1:]
+	run := cli.TBDetect
+	if len(args) > 0 {
+		switch args[0] {
+		case "agent":
+			run, args = cli.Agent, args[1:]
+		case "merge":
+			run, args = cli.Merge, args[1:]
+		}
+	}
+	if err := run(args, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

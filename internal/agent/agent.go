@@ -1,0 +1,546 @@
+// Package agent is the per-host half of distributed ingestion: it tails
+// a JSONL visit source and ships sequence-numbered batches to the merge
+// head (internal/merge) over the wire protocol (internal/wire).
+//
+// # Robustness contract
+//
+// The agent assumes the network fails and the head restarts rarely. Its
+// job is to make both invisible to the analysis:
+//
+//   - Sequence numbers are positional in the source stream (batch k of a
+//     fixed batch size is always sequence k), so a restarted agent
+//     re-reading the same source regenerates identical batches and the
+//     head's (node, seq) dedup turns redelivery into exactly-once
+//     application.
+//   - Every batch stays in an in-memory ring until the head acknowledges
+//     it. On reconnect the agent resumes from Welcome.LastAcked: ring
+//     entries at or below it are discarded, the rest are retransmitted
+//     in order before any new batch.
+//   - Reconnects use exponential backoff with jitter, so a flapping head
+//     is not stampeded by its own agents.
+//   - Heartbeats carry the newest departure among *acknowledged* batches
+//     only. An unacknowledged batch may be lost with the connection, so
+//     advertising its departures could let the barrier seal past records
+//     the head never applied; acknowledged departures are safe by
+//     construction.
+//
+// A handshake rejection (Error frame in place of Welcome, or a version
+// mismatch) is terminal — retrying an incompatible head forever helps
+// nobody. Every other failure reconnects.
+package agent
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"time"
+
+	"transientbd/internal/simnet"
+	"transientbd/internal/trace"
+	"transientbd/internal/traceio"
+	"transientbd/internal/wire"
+)
+
+// Config tunes one agent run.
+type Config struct {
+	// Node is this agent's stable identity — the key of the merge
+	// head's dedup and watermark state. It must survive restarts (a
+	// hostname, not a PID).
+	Node string
+	// Addr is the merge head's TCP address.
+	Addr string
+	// BatchSize is the records-per-batch cut. It is part of the resume
+	// contract: sequence numbers are positional, so a restarted agent
+	// must use the same batch size to regenerate the same sequences.
+	// Default 512.
+	BatchSize int
+	// Window caps unacknowledged batches held in memory; the source
+	// read stalls when the window is full (backpressure, bounded
+	// memory). Default 64.
+	Window int
+	// HeartbeatEvery is the liveness cadence; each heartbeat is echoed
+	// by the head, so it doubles as dead-connection detection. Default
+	// 1 s.
+	HeartbeatEvery time.Duration
+	// IOTimeout bounds handshake reads and frame writes; the idle read
+	// timeout is max(IOTimeout, 3×HeartbeatEvery). Default 10 s.
+	IOTimeout time.Duration
+	// BackoffBase and BackoffMax shape reconnect backoff (exponential,
+	// ±50% jitter). Defaults 100 ms and 5 s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// MaxDials caps *consecutive* failed connection attempts before the
+	// run fails (the counter resets on a completed handshake). 0 means
+	// retry forever (until the context cancels).
+	MaxDials int
+	// Lenient skips undecodable source lines (counted in
+	// Metrics.Source) instead of failing the run.
+	Lenient bool
+	// Dial opens the transport. Injectable for tests and fault proxies.
+	// Default net.Dial("tcp", addr).
+	Dial func(addr string) (net.Conn, error)
+	// Rand is the jitter source, injectable for determinism. Default
+	// math/rand.Float64.
+	Rand func() float64
+	// Logf, when set, receives reconnect/backoff diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Metrics summarizes one agent run.
+type Metrics struct {
+	// RecordsRead counts records decoded from the source; RecordsSent
+	// counts records written to the wire at least once.
+	RecordsRead int64
+	RecordsSent int64
+	// BatchesSent counts batch frames written (including retransmits);
+	// Retransmits counts the re-sends among them; BatchesAcked counts
+	// batches acknowledged by the head.
+	BatchesSent  int64
+	Retransmits  int64
+	BatchesAcked int64
+	// Reconnects counts sessions after the first.
+	Reconnects int64
+	// ResumeSkipped counts records never sent because the head had
+	// already acknowledged their batch (restart fast-forward).
+	ResumeSkipped int64
+	// Source is the decode accounting of the JSONL reader.
+	Source traceio.Stats
+}
+
+// batchRec is one ring entry: a cut batch awaiting acknowledgment.
+type batchRec struct {
+	seq       uint64
+	visits    []trace.Visit
+	maxDepart simnet.Time
+	sent      bool
+}
+
+type readResult struct {
+	stats traceio.Stats
+	err   error
+}
+
+// run is the single-goroutine state of one Run call (the source reader
+// and per-session frame reader are helpers feeding channels).
+type run struct {
+	cfg Config
+	m   Metrics
+
+	pending     []batchRec // unacked ring, ordered by seq
+	nextSeq     uint64
+	ackedSeq    uint64
+	ackedDepart simnet.Time // newest departure among acked batches
+	srcDone     bool
+	finalSeq    uint64
+	saidGoodbye bool
+
+	srcCh   chan []trace.Visit
+	readRes chan readResult
+}
+
+// Run ships src to the merge head and blocks until the head confirms
+// the full stream (clean completion), the context cancels, or a
+// terminal error occurs. The returned Metrics are valid in every case.
+func Run(ctx context.Context, src io.Reader, cfg Config) (Metrics, error) {
+	if cfg.Node == "" {
+		return Metrics{}, errors.New("agent: Config.Node is required")
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 512
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 64
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = time.Second
+	}
+	if cfg.IOTimeout <= 0 {
+		cfg.IOTimeout = 10 * time.Second
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 100 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 5 * time.Second
+	}
+	if cfg.Dial == nil {
+		cfg.Dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	if cfg.Rand == nil {
+		cfg.Rand = rand.Float64
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	a := &run{
+		cfg:     cfg,
+		nextSeq: 1,
+		srcCh:   make(chan []trace.Visit, 1),
+		readRes: make(chan readResult, 1),
+	}
+	go a.readSource(ctx, src)
+	err := a.loop(ctx)
+	return a.m, err
+}
+
+// readSource decodes the JSONL source into copied batches. The batch
+// slice handed to the StreamVisits callback is reused, so each batch is
+// copied before crossing the channel.
+func (a *run) readSource(ctx context.Context, src io.Reader) {
+	opts := traceio.StreamOptions{BatchSize: a.cfg.BatchSize}
+	if a.cfg.Lenient {
+		opts.Policy = traceio.Skip
+	}
+	stats, err := traceio.StreamVisitsOpts(src, opts, func(batch []trace.Visit) error {
+		cp := make([]trace.Visit, len(batch))
+		copy(cp, batch)
+		select {
+		case a.srcCh <- cp:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	})
+	close(a.srcCh)
+	a.readRes <- readResult{stats: stats, err: err}
+}
+
+// loop runs sessions until clean completion or a terminal failure.
+func (a *run) loop(ctx context.Context) error {
+	backoff := a.cfg.BackoffBase
+	fails := 0
+	session := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if session > 0 || fails > 0 {
+			if err := a.sleep(ctx, a.jitter(backoff)); err != nil {
+				return err
+			}
+			if backoff *= 2; backoff > a.cfg.BackoffMax {
+				backoff = a.cfg.BackoffMax
+			}
+		}
+		conn, welcome, terminal, err := a.connect(ctx)
+		if terminal {
+			if a.delivered() {
+				// Every batch through finalSeq is acked and durable; the
+				// only frame left was the EOF notice (our Goodbye echo was
+				// lost with the previous connection). A head that rejects
+				// the reconnect now is draining or completing — it has no
+				// more need of the notice, so this run is complete, not
+				// failed.
+				a.cfg.Logf("agent %s: head rejected reconnect after full delivery (%v); exiting clean", a.cfg.Node, err)
+				return nil
+			}
+			return err
+		}
+		if err != nil {
+			fails++
+			if a.cfg.MaxDials > 0 && fails >= a.cfg.MaxDials {
+				return fmt.Errorf("agent: giving up after %d consecutive failed connection attempts: %w", fails, err)
+			}
+			a.cfg.Logf("agent %s: connect: %v (attempt %d)", a.cfg.Node, err, fails)
+			continue
+		}
+		fails = 0
+		backoff = a.cfg.BackoffBase
+		session++
+		if session > 1 {
+			a.m.Reconnects++
+		}
+		a.fastForward(welcome.LastAcked)
+		// A Goodbye whose echo was lost with the old connection must be
+		// re-sent on this one (the head's EOF handling is idempotent).
+		a.saidGoodbye = false
+		done, err := a.session(ctx, conn)
+		if done {
+			return nil
+		}
+		if errors.Is(err, ctx.Err()) && ctx.Err() != nil {
+			return err
+		}
+		var term *terminalError
+		if errors.As(err, &term) {
+			return term.err
+		}
+		a.cfg.Logf("agent %s: session ended: %v (reconnecting)", a.cfg.Node, err)
+	}
+}
+
+// delivered reports whether every source record is durably applied at
+// the head: the source is exhausted and no batch awaits an ack. Once
+// true, the only frame left to send is the EOF notice (Goodbye).
+func (a *run) delivered() bool { return a.srcDone && len(a.pending) == 0 }
+
+// terminalError marks failures no reconnect can fix (source read
+// failure, handshake rejection).
+type terminalError struct{ err error }
+
+func (e *terminalError) Error() string { return e.err.Error() }
+
+func (a *run) sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// jitter spreads d over [0.5d, 1.5d) so agents reconnecting after the
+// same head failure do not stampede it in lockstep.
+func (a *run) jitter(d time.Duration) time.Duration {
+	return time.Duration(float64(d) * (0.5 + a.cfg.Rand()))
+}
+
+// connect dials and handshakes once. terminal=true means the error is
+// not retryable (version rejection, protocol confusion).
+func (a *run) connect(ctx context.Context) (net.Conn, wire.Welcome, bool, error) {
+	conn, err := a.cfg.Dial(a.cfg.Addr)
+	if err != nil {
+		return nil, wire.Welcome{}, false, err
+	}
+	conn.SetDeadline(time.Now().Add(a.cfg.IOTimeout))
+	// FirstSeq: the lowest batch this agent can still transmit — the
+	// ring's head, or the next sequence to be produced when nothing is
+	// pending. It lets the head reject (rather than silently skip past) a
+	// first batch that lost its predecessors in transit.
+	first := a.nextSeq
+	if len(a.pending) > 0 {
+		first = a.pending[0].seq
+	}
+	w := wire.NewWriter(conn)
+	err = w.WriteHello(wire.Hello{Version: wire.Version, Node: a.cfg.Node, FirstSeq: first})
+	if err == nil {
+		err = w.Flush()
+	}
+	if err != nil {
+		conn.Close()
+		return nil, wire.Welcome{}, false, err
+	}
+	f, err := wire.NewReader(conn).Read()
+	if err != nil {
+		conn.Close()
+		return nil, wire.Welcome{}, false, fmt.Errorf("agent: handshake read: %w", err)
+	}
+	switch f.Type {
+	case wire.TypeError:
+		conn.Close()
+		return nil, wire.Welcome{}, true, fmt.Errorf("agent: rejected by merge head: %s", f.Error.Msg)
+	case wire.TypeWelcome:
+		if f.Welcome.Version != wire.Version {
+			conn.Close()
+			return nil, wire.Welcome{}, true, fmt.Errorf("agent: merge head speaks protocol version %d, this build speaks %d", f.Welcome.Version, wire.Version)
+		}
+	default:
+		conn.Close()
+		return nil, wire.Welcome{}, true, fmt.Errorf("agent: unexpected handshake frame type %d", f.Type)
+	}
+	conn.SetDeadline(time.Time{})
+	return conn, f.Welcome, false, nil
+}
+
+// fastForward applies the head's resume cursor: ring entries at or
+// below lastAcked were durably applied by a previous session and are
+// discarded. A cursor *behind* our own acknowledgment state means the
+// head restarted cold and its memory of those batches is gone — the
+// records are lost to the analysis (the head accepts the ring's first
+// batch at any sequence), which is logged, never silent.
+func (a *run) fastForward(lastAcked uint64) {
+	if lastAcked > a.ackedSeq {
+		a.ackedSeq = lastAcked
+		a.popAcked(lastAcked)
+	} else if lastAcked < a.ackedSeq {
+		a.cfg.Logf("agent %s: merge head resume cursor %d behind ours %d (head restarted cold; acknowledged batches between are lost)",
+			a.cfg.Node, lastAcked, a.ackedSeq)
+	}
+}
+
+// popAcked discards ring entries with seq ≤ s and advances the
+// acknowledged-departure horizon.
+func (a *run) popAcked(s uint64) {
+	cut := 0
+	for cut < len(a.pending) && a.pending[cut].seq <= s {
+		if a.pending[cut].maxDepart > a.ackedDepart {
+			a.ackedDepart = a.pending[cut].maxDepart
+		}
+		a.m.BatchesAcked++
+		cut++
+	}
+	if cut > 0 {
+		a.pending = a.pending[:copy(a.pending, a.pending[cut:])]
+	}
+}
+
+type inFrame struct {
+	f   wire.Frame
+	err error
+}
+
+// session runs one connection to completion: retransmit the ring, then
+// stream new batches, heartbeats and acknowledgments until the head
+// echoes our Goodbye (done), the connection fails (reconnect), or the
+// context cancels. Single writer: only this goroutine touches w.
+func (a *run) session(ctx context.Context, conn net.Conn) (bool, error) {
+	defer conn.Close()
+	w := wire.NewWriter(conn)
+	idle := a.cfg.IOTimeout
+	if hb3 := 3 * a.cfg.HeartbeatEvery; hb3 > idle {
+		idle = hb3
+	}
+
+	stop := make(chan struct{})
+	defer close(stop)
+	inCh := make(chan inFrame, 8)
+	go func() {
+		r := wire.NewReader(conn)
+		for {
+			conn.SetReadDeadline(time.Now().Add(idle))
+			f, err := r.Read()
+			select {
+			case inCh <- inFrame{f, err}:
+			case <-stop:
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	flush := func() error {
+		conn.SetWriteDeadline(time.Now().Add(a.cfg.IOTimeout))
+		return w.Flush()
+	}
+
+	// Retransmit the unacknowledged ring in order before anything new.
+	for i := range a.pending {
+		rec := &a.pending[i]
+		if err := w.WriteBatch(wire.Batch{Seq: rec.seq, Visits: rec.visits}); err != nil {
+			return false, err
+		}
+		a.m.BatchesSent++
+		if rec.sent {
+			a.m.Retransmits++
+		} else {
+			rec.sent = true
+			a.m.RecordsSent += int64(len(rec.visits))
+		}
+	}
+	if len(a.pending) > 0 {
+		if err := flush(); err != nil {
+			return false, err
+		}
+	}
+	if err := a.maybeGoodbye(w, flush); err != nil {
+		return false, err
+	}
+
+	hb := time.NewTicker(a.cfg.HeartbeatEvery)
+	defer hb.Stop()
+	for {
+		srcIn := a.srcCh
+		if a.srcDone || len(a.pending) >= a.cfg.Window {
+			srcIn = nil
+		}
+		select {
+		case <-ctx.Done():
+			return false, ctx.Err()
+
+		case visits, ok := <-srcIn:
+			if !ok {
+				res := <-a.readRes
+				a.m.Source = res.stats
+				a.srcDone = true
+				a.finalSeq = a.nextSeq - 1
+				if res.err != nil {
+					return false, &terminalError{fmt.Errorf("agent: source read: %w", res.err)}
+				}
+				if err := a.maybeGoodbye(w, flush); err != nil {
+					return false, err
+				}
+				continue
+			}
+			seq := a.nextSeq
+			a.nextSeq++
+			a.m.RecordsRead += int64(len(visits))
+			if seq <= a.ackedSeq {
+				// Restart fast-forward: the head already applied this batch
+				// in a previous incarnation of this agent.
+				a.m.ResumeSkipped += int64(len(visits))
+				continue
+			}
+			var md simnet.Time
+			for i := range visits {
+				if visits[i].Depart > md {
+					md = visits[i].Depart
+				}
+			}
+			a.pending = append(a.pending, batchRec{seq: seq, visits: visits, maxDepart: md, sent: true})
+			if err := w.WriteBatch(wire.Batch{Seq: seq, Visits: visits}); err != nil {
+				return false, err
+			}
+			if err := flush(); err != nil {
+				return false, err
+			}
+			a.m.BatchesSent++
+			a.m.RecordsSent += int64(len(visits))
+
+		case in := <-inCh:
+			if in.err != nil {
+				return false, in.err
+			}
+			switch in.f.Type {
+			case wire.TypeAck:
+				if s := in.f.Ack.Seq; s > a.ackedSeq {
+					a.ackedSeq = s
+					a.popAcked(s)
+				}
+				if err := a.maybeGoodbye(w, flush); err != nil {
+					return false, err
+				}
+			case wire.TypeGoodbye:
+				// The head confirmed our Goodbye: every batch through
+				// FinalSeq is applied. Clean completion.
+				return true, nil
+			case wire.TypeError:
+				return false, fmt.Errorf("agent: merge head error: %s", in.f.Error.Msg)
+			default:
+				return false, fmt.Errorf("agent: unexpected frame type %d mid-session", in.f.Type)
+			}
+
+		case <-hb.C:
+			if err := w.WriteHeartbeat(wire.Heartbeat{MaxDepart: a.ackedDepart}); err != nil {
+				return false, err
+			}
+			if err := flush(); err != nil {
+				return false, err
+			}
+		}
+	}
+}
+
+// maybeGoodbye sends the end-of-stream frame once the source is
+// exhausted and every batch is acknowledged. Idempotent per session;
+// safe to re-send on a later session (the head's EOF is idempotent
+// too).
+func (a *run) maybeGoodbye(w *wire.Writer, flush func() error) error {
+	if !a.srcDone || len(a.pending) > 0 || a.saidGoodbye {
+		return nil
+	}
+	if err := w.WriteGoodbye(wire.Goodbye{FinalSeq: a.finalSeq, Reason: "eof"}); err != nil {
+		return err
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	a.saidGoodbye = true
+	return nil
+}

@@ -65,6 +65,7 @@ func ExperimentsBench(args []string, stdout, stderr io.Writer) error {
 		interval = fs.Duration("interval", 50*time.Millisecond, "monitoring interval")
 		online   = fs.Bool("online", false, "benchmark the sharded streaming runtime instead of the batch pipeline")
 		shards   = fs.String("shards", "1,4,8", "with -online: comma-separated shard counts to measure")
+		cpus     = fs.String("cpus", "", "with -online: comma-separated GOMAXPROCS values to sweep (empty = current setting only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,12 +78,18 @@ func ExperimentsBench(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
+		cpuCounts := []int{runtime.GOMAXPROCS(0)}
+		if *cpus != "" {
+			if cpuCounts, err = parseCounts(*cpus, "-cpus"); err != nil {
+				return err
+			}
+		}
 		// The default output name tracks the benchmark being run; an
 		// explicit -out always wins.
 		if *out == "BENCH_analyze.json" {
 			*out = "BENCH_online.json"
 		}
-		return benchOnline(counts, *records, *servers, *classes, *seed, *interval, *out, stdout, stderr)
+		return benchOnline(cpuCounts, counts, *records, *servers, *classes, *seed, *interval, *out, stdout, stderr)
 	}
 	counts, err := parseCounts(*workers, "-workers")
 	if err != nil {
@@ -165,10 +172,13 @@ func parseCounts(list, flagName string) ([]int, error) {
 }
 
 // onlineBenchResult is one row of BENCH_online.json: the measured ingest
-// cost of the sharded streaming runtime at one shard count. One op is
-// the whole stream: Observe every record, close every interval, merge
-// every alert.
+// cost of the sharded streaming runtime at one (GOMAXPROCS, shard count)
+// point. One op is the whole stream: Observe every record, close every
+// interval, merge every alert. SpeedupVsSingle is relative to shards=1
+// at the same CPU count, so the shard scaling curve is readable within
+// each CPU row of the matrix.
 type onlineBenchResult struct {
+	CPUs            int     `json:"cpus"`
 	Shards          int     `json:"shards"`
 	NsPerOp         int64   `json:"ns_per_op"`
 	RecordsPerSec   float64 `json:"records_per_sec"`
@@ -194,10 +204,11 @@ type onlineBenchReport struct {
 }
 
 // benchOnline measures ingest throughput of the sharded online runtime
-// (stream.Runtime) at each requested shard count over the same
-// deterministic workload as the batch bench, flattened into
-// departure order as a passive tracer would deliver it.
-func benchOnline(counts []int, records, servers, classes int, seed int64, interval time.Duration, out string, stdout, stderr io.Writer) error {
+// (stream.Runtime) at each requested (GOMAXPROCS, shard count) pair over
+// the same deterministic workload as the batch bench, flattened into
+// departure order as a passive tracer would deliver it. GOMAXPROCS is
+// restored to its entry value before returning.
+func benchOnline(cpuCounts, counts []int, records, servers, classes int, seed int64, interval time.Duration, out string, stdout, stderr io.Writer) error {
 	visits := BenchVisitStream(records, servers, classes, seed)
 	iv := simnet.FromStdDuration(interval)
 
@@ -212,53 +223,60 @@ func benchOnline(counts []int, records, servers, classes int, seed int64, interv
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		GoVersion:  runtime.Version(),
 	}
-	var singleNs int64
-	for _, n := range counts {
-		cfg := stream.Config{
-			Online: core.OnlineOptions{Options: core.Options{Interval: iv}},
-			Shards: n,
-		}
-		res := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				rt, err := stream.New(cfg)
-				if err != nil {
-					b.Fatal(err)
-				}
-				done := make(chan struct{})
-				go func() {
-					defer close(done)
-					for range rt.Alerts() {
-					}
-				}()
-				for j := range visits {
-					if err := rt.Observe(visits[j]); err != nil {
+	prevProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prevProcs)
+	for _, ncpu := range cpuCounts {
+		runtime.GOMAXPROCS(ncpu)
+		var singleNs int64
+		for _, n := range counts {
+			cfg := stream.Config{
+				Online: core.OnlineOptions{Options: core.Options{Interval: iv}},
+				Shards: n,
+			}
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					rt, err := stream.New(cfg)
+					if err != nil {
 						b.Fatal(err)
 					}
+					done := make(chan struct{})
+					go func() {
+						defer close(done)
+						for range rt.Alerts() {
+						}
+					}()
+					for j := range visits {
+						if err := rt.Observe(visits[j]); err != nil {
+							b.Fatal(err)
+						}
+					}
+					rt.Close()
+					<-done
 				}
-				rt.Close()
-				<-done
+			})
+			row := onlineBenchResult{
+				CPUs:        ncpu,
+				Shards:      n,
+				NsPerOp:     res.NsPerOp(),
+				AllocsPerOp: res.AllocsPerOp(),
+				BytesPerOp:  res.AllocedBytesPerOp(),
 			}
-		})
-		row := onlineBenchResult{
-			Shards:      n,
-			NsPerOp:     res.NsPerOp(),
-			AllocsPerOp: res.AllocsPerOp(),
-			BytesPerOp:  res.AllocedBytesPerOp(),
+			if row.NsPerOp > 0 {
+				row.RecordsPerSec = float64(records) / (float64(row.NsPerOp) / 1e9)
+			}
+			if n == 1 {
+				singleNs = row.NsPerOp
+			}
+			if singleNs > 0 {
+				row.SpeedupVsSingle = float64(singleNs) / float64(row.NsPerOp)
+			}
+			report.Results = append(report.Results, row)
+			fmt.Fprintf(stderr, "bench: cpus=%d shards=%d  %d ns/op  %.0f records/s  speedup %.2fx\n",
+				ncpu, n, row.NsPerOp, row.RecordsPerSec, row.SpeedupVsSingle)
 		}
-		if row.NsPerOp > 0 {
-			row.RecordsPerSec = float64(records) / (float64(row.NsPerOp) / 1e9)
-		}
-		if n == 1 {
-			singleNs = row.NsPerOp
-		}
-		if singleNs > 0 {
-			row.SpeedupVsSingle = float64(singleNs) / float64(row.NsPerOp)
-		}
-		report.Results = append(report.Results, row)
-		fmt.Fprintf(stderr, "bench: shards=%d  %d ns/op  %.0f records/s  speedup %.2fx\n",
-			n, row.NsPerOp, row.RecordsPerSec, row.SpeedupVsSingle)
 	}
+	runtime.GOMAXPROCS(prevProcs)
 
 	data, err := json.MarshalIndent(&report, "", "  ")
 	if err != nil {

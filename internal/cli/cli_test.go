@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -419,10 +420,11 @@ func TestExperimentsBench(t *testing.T) {
 func TestExperimentsBenchOnline(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "BENCH_online.json")
+	entryProcs := runtime.GOMAXPROCS(0)
 	var stdout, stderr bytes.Buffer
 	err := Experiments([]string{
 		"bench", "-online", "-records", "20000", "-servers", "4",
-		"-shards", "1,2", "-out", out,
+		"-shards", "1,2", "-cpus", "2", "-out", out,
 	}, &stdout, &stderr)
 	if err != nil {
 		t.Fatal(err)
@@ -435,6 +437,7 @@ func TestExperimentsBenchOnline(t *testing.T) {
 		Benchmark string `json:"benchmark"`
 		Servers   int    `json:"servers"`
 		Results   []struct {
+			CPUs            int     `json:"cpus"`
 			Shards          int     `json:"shards"`
 			NsPerOp         int64   `json:"ns_per_op"`
 			RecordsPerSec   float64 `json:"records_per_sec"`
@@ -454,13 +457,22 @@ func TestExperimentsBenchOnline(t *testing.T) {
 		if r.NsPerOp <= 0 || r.RecordsPerSec <= 0 || r.SpeedupVsSingle <= 0 {
 			t.Errorf("shards=%d: non-positive measurements: %+v", r.Shards, r)
 		}
+		if r.CPUs != 2 {
+			t.Errorf("shards=%d: want cpus=2 from the -cpus sweep, got %d", r.Shards, r.CPUs)
+		}
 	}
 	if report.Results[0].Shards != 1 || report.Results[0].SpeedupVsSingle != 1 {
 		t.Errorf("single-shard row must lead with speedup 1: %+v", report.Results[0])
 	}
-	// Bad shard lists error cleanly.
+	if got := runtime.GOMAXPROCS(0); got != entryProcs {
+		t.Errorf("bench leaked GOMAXPROCS=%d, want %d restored", got, entryProcs)
+	}
+	// Bad shard and CPU lists error cleanly.
 	if err := Experiments([]string{"bench", "-online", "-shards", "none"}, &stdout, &stderr); err == nil {
 		t.Error("want error for malformed -shards")
+	}
+	if err := Experiments([]string{"bench", "-online", "-cpus", "0"}, &stdout, &stderr); err == nil {
+		t.Error("want error for malformed -cpus")
 	}
 }
 
@@ -562,6 +574,8 @@ func TestCLIDocsCoverAllFlags(t *testing.T) {
 	}{
 		{"ntiersim", NtierSim, nil},
 		{"tbdetect", TBDetect, nil},
+		{"tbdetect agent", Agent, nil},
+		{"tbdetect merge", Merge, nil},
 		{"experiments run", Experiments, []string{"run"}},
 		{"experiments bench", Experiments, []string{"bench"}},
 	} {

@@ -1,0 +1,415 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"transientbd/internal/agent"
+	"transientbd/internal/core"
+	"transientbd/internal/merge"
+	"transientbd/internal/serve"
+	"transientbd/internal/simnet"
+	"transientbd/internal/stream"
+)
+
+// This file is the command surface of distributed ingestion: `tbdetect
+// agent` tails a JSONL visit source on one host and ships it to the
+// merge head; `tbdetect merge` accepts N agents, runs the node barrier
+// across them, and produces the same alert stream and final snapshot a
+// single `tbdetect -follow` over the concatenated sorted feed would
+// (TestMergeEquivalence holds the two bit-identical in no-loss runs).
+
+// agentOpts carries the `tbdetect agent` flags, with the signal hook
+// injectable for tests.
+type agentOpts struct {
+	cfg agent.Config
+	// stop, when non-nil, replaces the SIGINT/SIGTERM handler — closing
+	// it cancels the run (a clean exit, not an error).
+	stop <-chan struct{}
+}
+
+// Agent ships one host's visit stream to a merge head, surviving
+// disconnects, head restarts and its own restarts (sequence numbers are
+// positional in the source, so the head deduplicates replays).
+func Agent(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("tbdetect agent", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		node       = fs.String("node", "", "stable node identity — the merge head's dedup and resume key; must survive restarts (required)")
+		head       = fs.String("head", "", "merge head TCP address to ship to, host:port (required)")
+		in         = fs.String("in", "-", "visit JSONL input path (- for stdin)")
+		batch      = fs.Int("batch", 512, "records per batch; part of the resume contract — keep it stable across restarts of the same node")
+		sendwindow = fs.Int("sendwindow", 64, "unacknowledged batches held in memory before the source read stalls (backpressure)")
+		heartbeat  = fs.Duration("heartbeat", time.Second, "liveness heartbeat cadence; the head degrades a node silent past its timeout")
+		iotimeout  = fs.Duration("iotimeout", 10*time.Second, "handshake and write deadline; the idle read timeout is max(this, 3x heartbeat)")
+		backoff    = fs.Duration("backoff", 100*time.Millisecond, "initial reconnect backoff (exponential, ±50% jitter)")
+		backoffmax = fs.Duration("backoffmax", 5*time.Second, "reconnect backoff cap")
+		maxdials   = fs.Int("maxdials", 0, "consecutive failed connection attempts before giving up (0 = retry until signalled)")
+		lenient    = fs.Bool("lenient", false, "skip undecodable source lines (counted) instead of failing the run")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *node == "" {
+		return errors.New("tbdetect agent: -node is required (a stable identity, e.g. the hostname)")
+	}
+	if *head == "" {
+		return errors.New("tbdetect agent: -head is required (the merge head's address)")
+	}
+	r := io.Reader(os.Stdin)
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return fmt.Errorf("tbdetect agent: %w", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	return runAgent(r, stdout, stderr, agentOpts{cfg: agent.Config{
+		Node:           *node,
+		Addr:           *head,
+		BatchSize:      *batch,
+		Window:         *sendwindow,
+		HeartbeatEvery: *heartbeat,
+		IOTimeout:      *iotimeout,
+		BackoffBase:    *backoff,
+		BackoffMax:     *backoffmax,
+		MaxDials:       *maxdials,
+		Lenient:        *lenient,
+	}})
+}
+
+// runAgent drives one agent run under signal control.
+func runAgent(r io.Reader, stdout, stderr io.Writer, opts agentOpts) error {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stop := opts.stop
+	if stop == nil {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(sig)
+		ch := make(chan struct{})
+		quit := make(chan struct{})
+		defer close(quit)
+		go func() {
+			select {
+			case <-sig:
+				close(ch)
+			case <-quit:
+			}
+		}()
+		stop = ch
+	}
+	interrupted := make(chan struct{})
+	go func() {
+		select {
+		case <-stop:
+			close(interrupted)
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+
+	cfg := opts.cfg
+	cfg.Logf = func(format string, args ...any) {
+		fmt.Fprintf(stderr, "tbdetect: "+format+"\n", args...)
+	}
+	m, err := agent.Run(ctx, r, cfg)
+	fmt.Fprintf(stdout, "agent %s: %d records read, %d sent in %d batches (%d retransmits), %d acked, %d reconnects, %d resume-skipped\n",
+		cfg.Node, m.RecordsRead, m.RecordsSent, m.BatchesSent, m.Retransmits, m.BatchesAcked, m.Reconnects, m.ResumeSkipped)
+	select {
+	case <-interrupted:
+		// A signalled agent exits clean: everything acknowledged is
+		// durable at the head, everything else will be retransmitted by
+		// the next incarnation (same -node, same -batch).
+		fmt.Fprintln(stderr, "tbdetect: interrupted; acknowledged batches are durable at the merge head")
+		return nil
+	default:
+	}
+	if err != nil {
+		return fmt.Errorf("tbdetect agent: %w", err)
+	}
+	return nil
+}
+
+// mergeOpts carries the `tbdetect merge` flags, with the signal and
+// address hooks injectable for tests.
+type mergeOpts struct {
+	listen        string
+	expect        []string
+	interval      time.Duration
+	window        time.Duration
+	flushLag      time.Duration
+	shards        int
+	raw           bool
+	metrics       bool
+	top           int
+	hbTimeout     time.Duration
+	checkpointDir string
+	ckptEvery     time.Duration
+	httpAddr      string
+	publishEvery  time.Duration
+
+	// stop, when non-nil, replaces the SIGINT/SIGTERM handler — closing
+	// it drains the head (graceful SIGTERM path).
+	stop <-chan struct{}
+	// listenReady/httpReady receive the bound addresses (tests hook
+	// them; port 0 in the flags picks free ports).
+	listenReady func(addr string)
+	httpReady   func(addr string)
+}
+
+// Merge runs the multi-node ingestion head: it accepts agent
+// connections, merges their per-node streams through the node barrier,
+// and prints the same alert stream and final snapshot the
+// single-process follow mode would.
+func Merge(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("tbdetect merge", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		listen      = fs.String("listen", "127.0.0.1:7600", "TCP address agents connect to (port 0 picks a free one)")
+		expect      = fs.String("expect", "", "comma-separated node identities the barrier waits for before sealing any interval (late joiners beyond the list may still connect)")
+		interval    = fs.Duration("interval", 50*time.Millisecond, "monitoring interval length")
+		window      = fs.Duration("window", 2*time.Minute, "sliding window N* is estimated over")
+		flushlag    = fs.Duration("flushlag", time.Second, "how far interval sealing trails the cross-node release point (must exceed max residence plus per-node reordering)")
+		raw         = fs.Bool("raw", false, "disable work-unit throughput normalization")
+		shards      = fs.Int("shards", 0, "shard goroutines records are hash-partitioned across (0 = GOMAXPROCS)")
+		top         = fs.Int("top", 0, "print only the N worst servers in the final snapshot (0 = all)")
+		selfmetrics = fs.Bool("selfmetrics", false, "print the runtime self-metrics block to stderr at exit")
+		hbtimeout   = fs.Duration("hbtimeout", 10*time.Second, "node silence after which it is degraded: it stops holding back the barrier, and records it later delivers from behind the release point are dropped with accounting")
+		checkpoint  = fs.String("checkpoint", "", "directory for durable checkpoints of the merged analyzer state (written atomically; a final cut is written on drain)")
+		ckptevery   = fs.Duration("ckptevery", 10*time.Second, "with -checkpoint: trace time between automatic checkpoints")
+		httpAddr    = fs.String("http", "", "serve /metrics (with per-node families), /healthz, /readyz, /report, /servers/{id}/series and SSE /alerts on this address")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var nodes []string
+	if *expect != "" {
+		for _, n := range strings.Split(*expect, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				nodes = append(nodes, n)
+			}
+		}
+	}
+	nshards := *shards
+	if nshards <= 0 {
+		nshards = runtime.GOMAXPROCS(0)
+	}
+	return runMerge(stdout, stderr, mergeOpts{
+		listen:        *listen,
+		expect:        nodes,
+		interval:      *interval,
+		window:        *window,
+		flushLag:      *flushlag,
+		shards:        nshards,
+		raw:           *raw,
+		metrics:       *selfmetrics,
+		top:           *top,
+		hbTimeout:     *hbtimeout,
+		checkpointDir: *checkpoint,
+		ckptEvery:     *ckptevery,
+		httpAddr:      *httpAddr,
+	})
+}
+
+// nodeViews adapts the merge head's per-node accounting to the serving
+// layer's transport-neutral view.
+func nodeViews(sts []merge.NodeStatus) []serve.NodeView {
+	views := make([]serve.NodeView, len(sts))
+	for i, st := range sts {
+		views[i] = serve.NodeView{
+			Node:            st.Node,
+			WatermarkMicros: int64(st.Watermark),
+			LastSeq:         st.LastSeq,
+			Sessions:        st.Sessions,
+			Connected:       st.Connected,
+			Degraded:        st.Degraded,
+			EOF:             st.EOF,
+			Delivered:       st.Delivered,
+			Deduped:         st.Deduped,
+			Dropped:         st.Dropped,
+			Invalid:         st.Invalid,
+			Buffered:        st.Buffered,
+			LastFrameWall:   st.LastFrameWall,
+		}
+	}
+	return views
+}
+
+// runMerge drives the merge head to completion: every expected node
+// reaching EOF ends it naturally; SIGINT/SIGTERM drains it early —
+// buffered stragglers are released, intervals sealed, the final
+// checkpoint written (when configured) and the exit is clean (status
+// 0), even while agents are mid-reconnect.
+func runMerge(stdout, stderr io.Writer, opts mergeOpts) error {
+	windowIntervals := int(opts.window / opts.interval)
+	srv, err := merge.NewServer(merge.ServerConfig{
+		Core: merge.Config{
+			Stream: stream.Config{
+				Online: core.OnlineOptions{
+					Options: core.Options{
+						Interval:      simnet.FromStdDuration(opts.interval),
+						RawThroughput: opts.raw,
+					},
+					WindowIntervals: windowIntervals,
+				},
+				Shards:          opts.shards,
+				CheckpointDir:   opts.checkpointDir,
+				CheckpointEvery: simnet.FromStdDuration(opts.ckptEvery),
+			},
+			FlushLag:         simnet.FromStdDuration(opts.flushLag),
+			ExpectNodes:      opts.expect,
+			HeartbeatTimeout: opts.hbTimeout,
+		},
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(stderr, "tbdetect: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("tbdetect merge: %w", err)
+	}
+	addr, err := srv.Start(opts.listen)
+	if err != nil {
+		return fmt.Errorf("tbdetect merge: listen: %w", err)
+	}
+	fmt.Fprintf(stderr, "tbdetect: merge head listening on %s (waiting for %d expected nodes)\n", addr, len(opts.expect))
+	if opts.listenReady != nil {
+		opts.listenReady(addr)
+	}
+
+	// The alert printer must start before anything can seal an interval
+	// (the runtime blocks closing on an undrained alert channel).
+	var alerts, freezes int64
+	printerDone := make(chan struct{})
+	go func() {
+		defer close(printerDone)
+		alerts, freezes = printAlerts(stdout, nil, srv.Alerts())
+	}()
+
+	// Optional HTTP layer: metrics gain the per-node families, /report
+	// serves barrier-consistent snapshots computed on the head's event
+	// goroutine at publishEvery cadence.
+	var hsrv *serve.Server
+	if opts.httpAddr != "" {
+		hsrv = serve.New(serve.Config{
+			Metrics: srv.Metrics,
+			Health:  srv.ShardHealth,
+			Nodes:   func() []serve.NodeView { return nodeViews(srv.NodeStatuses()) },
+		})
+		haddr, herr := hsrv.Start(opts.httpAddr)
+		if herr != nil {
+			srv.Close()
+			<-printerDone
+			return fmt.Errorf("tbdetect merge: http listen: %w", herr)
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			defer cancel()
+			hsrv.Shutdown(ctx) //nolint:errcheck // best-effort drain on exit
+		}()
+		fmt.Fprintf(stderr, "tbdetect: listening on http://%s\n", haddr)
+		if opts.httpReady != nil {
+			opts.httpReady(haddr)
+		}
+		hsrv.SetReady(true)
+	}
+	publishEvery := opts.publishEvery
+	if publishEvery <= 0 {
+		publishEvery = time.Second
+	}
+	pubQuit := make(chan struct{})
+	defer close(pubQuit)
+	if hsrv != nil {
+		go func() {
+			t := time.NewTicker(publishEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if snap, serr := srv.Snapshot(); serr == nil {
+						hsrv.PublishSnapshot(snap)
+					}
+				case <-pubQuit:
+					return
+				case <-srv.Done():
+					return
+				}
+			}
+		}()
+	}
+
+	stop := opts.stop
+	if stop == nil {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(sig)
+		ch := make(chan struct{})
+		quit := make(chan struct{})
+		defer close(quit)
+		go func() {
+			select {
+			case <-sig:
+				close(ch)
+			case <-quit:
+			}
+		}()
+		stop = ch
+	}
+
+	var snap *stream.Snapshot
+	select {
+	case <-srv.Done():
+		// Every known node said Goodbye: the stream is complete.
+		snap = srv.Final()
+	case <-stop:
+		fmt.Fprintln(stderr, "tbdetect: interrupted; draining merge head, sealing intervals and writing final state")
+		snap = srv.Drain()
+	}
+	if hsrv != nil {
+		hsrv.SetReady(false)
+	}
+	statuses := srv.NodeStatuses()
+	srv.Close()
+	<-printerDone
+	if hsrv != nil {
+		hsrv.PublishSnapshot(snap)
+	}
+
+	fmt.Fprintf(stdout, "\nmerge: %d congestion alerts (%d freezes) from %d closed intervals across %d nodes\n",
+		alerts, freezes, snap.Metrics.IntervalsClosed, len(statuses))
+	for _, st := range statuses {
+		state := "disconnected"
+		switch {
+		case st.EOF:
+			state = "eof"
+		case st.Degraded:
+			state = "degraded"
+		case st.Connected:
+			state = "connected"
+		}
+		fmt.Fprintf(stdout, "node %-12s  %-12s  delivered=%-8d deduped=%-6d dropped=%-6d invalid=%-4d reconnects=%d\n",
+			st.Node, state, st.Delivered, st.Deduped, st.Dropped, st.Invalid, maxI64(st.Sessions-1, 0))
+	}
+	printFinalSnapshot(stdout, snap, opts.window, opts.top)
+	if opts.metrics {
+		fmt.Fprint(stderr, snap.Metrics.String())
+	}
+	return nil
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

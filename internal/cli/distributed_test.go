@@ -1,0 +1,262 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"transientbd/internal/agent"
+	"transientbd/internal/chaos"
+	"transientbd/internal/trace"
+	"transientbd/internal/traceio"
+)
+
+// feedsByNode renders a deterministic workload as per-node JSONL feeds,
+// partitioned by server (each server lives on one node, like real
+// hosts) and depart-sorted — the per-host completion-log order the
+// merge head's node watermark assumes.
+func feedsByNode(t *testing.T, n int, byServer map[string]string) map[string][]byte {
+	t.Helper()
+	vs := chaos.Workload([]string{"web", "app", "db"}, n, 17)
+	parts := make(map[string][]trace.Visit)
+	for _, v := range vs {
+		node, ok := byServer[v.Server]
+		if !ok {
+			t.Fatalf("no node for server %q", v.Server)
+		}
+		parts[node] = append(parts[node], v)
+	}
+	feeds := make(map[string][]byte, len(parts))
+	for node, pv := range parts {
+		sort.SliceStable(pv, func(i, j int) bool { return pv[i].Depart < pv[j].Depart })
+		var buf bytes.Buffer
+		if err := traceio.WriteVisits(&buf, pv); err != nil {
+			t.Fatalf("encode %s: %v", node, err)
+		}
+		feeds[node] = buf.Bytes()
+	}
+	return feeds
+}
+
+func TestAgentFlagValidation(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := Agent([]string{"-head", "x:1"}, &out, &errb); err == nil || !strings.Contains(err.Error(), "-node is required") {
+		t.Errorf("missing -node: got %v", err)
+	}
+	if err := Agent([]string{"-node", "n1"}, &out, &errb); err == nil || !strings.Contains(err.Error(), "-head is required") {
+		t.Errorf("missing -head: got %v", err)
+	}
+}
+
+// TestAgentMergeEndToEnd drives the full CLI surface: a merge head and
+// two agents (one per flag-built config) over real TCP, files in,
+// merged alert stream and final snapshot out.
+func TestAgentMergeEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	feeds := feedsByNode(t, 4000, map[string]string{"web": "n1", "app": "n2", "db": "n2"})
+	for node, feed := range feeds {
+		if err := os.WriteFile(filepath.Join(dir, node+".jsonl"), feed, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	addrCh := make(chan string, 1)
+	var mout, merr bytes.Buffer
+	mergeDone := make(chan error, 1)
+	go func() {
+		mergeDone <- runMerge(&mout, &merr, mergeOpts{
+			listen:      "127.0.0.1:0",
+			expect:      []string{"n1", "n2"},
+			interval:    50 * time.Millisecond,
+			window:      2 * time.Minute,
+			flushLag:    300 * time.Millisecond,
+			shards:      2,
+			hbTimeout:   time.Minute,
+			listenReady: func(a string) { addrCh <- a },
+		})
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("merge head never came up")
+	}
+
+	var wg sync.WaitGroup
+	agentErrs := make(map[string]error)
+	var agentMu sync.Mutex
+	for _, node := range []string{"n1", "n2"} {
+		wg.Add(1)
+		go func(node string) {
+			defer wg.Done()
+			var aout, aerr bytes.Buffer
+			err := Agent([]string{
+				"-node", node,
+				"-head", addr,
+				"-in", filepath.Join(dir, node+".jsonl"),
+				"-batch", "128",
+				"-heartbeat", "50ms",
+			}, &aout, &aerr)
+			agentMu.Lock()
+			agentErrs[node] = err
+			agentMu.Unlock()
+			if err == nil && !strings.Contains(aout.String(), "agent "+node+":") {
+				t.Errorf("agent %s printed no summary: %q", node, aout.String())
+			}
+		}(node)
+	}
+	wg.Wait()
+	for node, err := range agentErrs {
+		if err != nil {
+			t.Fatalf("agent %s: %v", node, err)
+		}
+	}
+	select {
+	case err := <-mergeDone:
+		if err != nil {
+			t.Fatalf("merge: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("merge head never finished after both agents said goodbye")
+	}
+
+	out := mout.String()
+	if !strings.Contains(out, "final snapshot") {
+		t.Errorf("no final snapshot printed:\n%s", out)
+	}
+	if !strings.Contains(out, "most frequent transient bottleneck") {
+		t.Errorf("no bottleneck ranked (workload should congest):\n%s", out)
+	}
+	for _, node := range []string{"n1", "n2"} {
+		if !strings.Contains(out, "node "+node) || !strings.Contains(out, "eof") {
+			t.Errorf("node accounting line for %s missing:\n%s", node, out)
+		}
+	}
+	// Depart-sorted fault-free feeds must lose nothing: exactly-once,
+	// zero drops, on both nodes.
+	if got := strings.Count(out, "dropped=0"); got != 2 {
+		t.Errorf("want dropped=0 on both node lines, got %d:\n%s", got, out)
+	}
+}
+
+// TestMergeSIGTERMDrainMidReconnect is the graceful-shutdown drill: one
+// agent finished its stream, the other is stuck mid-reconnect behind a
+// partition when the head is told to stop. The head must drain — seal
+// intervals, write the final checkpoint, print the final snapshot — and
+// exit cleanly, not wedge waiting for the absent node.
+func TestMergeSIGTERMDrainMidReconnect(t *testing.T) {
+	dir := t.TempDir()
+	ckptDir := filepath.Join(dir, "ckpt")
+	if err := os.MkdirAll(ckptDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	feeds := feedsByNode(t, 3000, map[string]string{"web": "n1", "app": "n1", "db": "n2"})
+
+	stop := make(chan struct{})
+	addrCh := make(chan string, 1)
+	var mout, merr bytes.Buffer
+	mergeDone := make(chan error, 1)
+	go func() {
+		mergeDone <- runMerge(&mout, &merr, mergeOpts{
+			listen:        "127.0.0.1:0",
+			expect:        []string{"n1", "n2"},
+			interval:      50 * time.Millisecond,
+			window:        2 * time.Minute,
+			flushLag:      300 * time.Millisecond,
+			shards:        2,
+			hbTimeout:     5 * time.Minute, // degrade must not rescue this test
+			checkpointDir: ckptDir,
+			ckptEvery:     time.Second,
+			stop:          stop,
+			listenReady:   func(a string) { addrCh <- a },
+		})
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("merge head never came up")
+	}
+
+	// n1 ships its whole stream and finishes cleanly.
+	if _, err := agent.Run(context.Background(), bytes.NewReader(feeds["n1"]), agent.Config{
+		Node: "n1", Addr: addr, BatchSize: 128,
+		HeartbeatEvery: 50 * time.Millisecond, IOTimeout: 2 * time.Second,
+	}); err != nil {
+		t.Fatalf("agent n1: %v", err)
+	}
+
+	// n2 dials through a partitioned proxy: connections open but no
+	// bytes move, so its handshake times out and it loops in reconnect
+	// backoff — the exact state the drain must tolerate.
+	proxy, err := chaos.NewProxy("127.0.0.1:0", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	proxy.Partition()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	n2done := make(chan struct{})
+	go func() {
+		defer close(n2done)
+		agent.Run(ctx, bytes.NewReader(feeds["n2"]), agent.Config{ //nolint:errcheck // cancelled at test end
+			Node: "n2", Addr: proxy.Addr(), BatchSize: 128,
+			HeartbeatEvery: 50 * time.Millisecond, IOTimeout: 150 * time.Millisecond,
+			BackoffBase: 10 * time.Millisecond, BackoffMax: 50 * time.Millisecond,
+		})
+	}()
+	time.Sleep(400 * time.Millisecond) // let n2 enter its reconnect loop
+
+	close(stop)
+	select {
+	case err := <-mergeDone:
+		if err != nil {
+			t.Fatalf("drained merge head returned %v, want nil (exit 0)", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("merge head wedged on drain with an agent mid-reconnect")
+	}
+	cancel()
+	<-n2done
+
+	if !strings.Contains(merr.String(), "interrupted") {
+		t.Errorf("no interrupt notice on stderr:\n%s", merr.String())
+	}
+	out := mout.String()
+	if !strings.Contains(out, "final snapshot") {
+		t.Errorf("no final snapshot after drain:\n%s", out)
+	}
+	if !strings.Contains(out, "node n1") || !strings.Contains(out, "eof") {
+		t.Errorf("n1 accounting missing:\n%s", out)
+	}
+	ckpts, err := filepath.Glob(filepath.Join(ckptDir, "checkpoint-*.tbc"))
+	if err != nil || len(ckpts) == 0 {
+		t.Errorf("no final checkpoint written on drain (glob err %v): %v", err, ckpts)
+	}
+	// n1's records must be in the sealed analysis even though n2 never
+	// delivered: drain releases everything buffered.
+	if !strings.Contains(out, "delivered="+fmt.Sprint(countRecords(t, feeds["n1"]))) {
+		t.Errorf("n1 delivered count missing from accounting:\n%s", out)
+	}
+}
+
+func countRecords(t *testing.T, feed []byte) int {
+	t.Helper()
+	n := 0
+	_, err := traceio.StreamVisitsOpts(bytes.NewReader(feed), traceio.StreamOptions{}, func(batch []trace.Visit) error {
+		n += len(batch)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}

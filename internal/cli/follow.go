@@ -153,27 +153,20 @@ func runFollow(r io.Reader, stdout, stderr io.Writer, opts followOpts) error {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		for a := range rt.Alerts() {
-			if a.State != core.StateCongested {
-				continue
-			}
-			if srv != nil {
-				srv.PublishAlert(a)
-			}
-			alerts++
-			verdict := "CONGESTED"
-			if a.POI {
-				freezes++
-				verdict = "FREEZE"
-			}
-			fmt.Fprintf(stdout, "ALERT %10v  %-12s  load=%-8.1f tp=%-8.0f %s\n",
-				simnet.Std(simnet.Duration(a.At)), a.Server, a.Load, a.TP, verdict)
-		}
+		alerts, freezes = printAlerts(stdout, srv, rt.Alerts())
 	}()
 
 	start := time.Now()
 	if srv != nil {
-		srv.SetReady(true)
+		if skip > 0 {
+			// A resuming process is alive but still replaying the feed
+			// prefix its checkpoint covers: its published state is behind
+			// what a scraper would expect, so readiness waits for the
+			// cursor, with the reason on /readyz.
+			srv.SetNotReady("resuming")
+		} else {
+			srv.SetReady(true)
+		}
 	}
 	ioOpts := traceio.StreamOptions{Policy: traceio.Strict}
 	if opts.lenient {
@@ -198,7 +191,11 @@ func runFollow(r io.Reader, stdout, stderr io.Writer, opts followOpts) error {
 				// Replay cursor: records the restored checkpoint already
 				// covers. Only records Observe would accept count.
 				if stream.ValidateVisit(batch[i]) == nil {
-					skipped++
+					if skipped++; skipped == skip && srv != nil {
+						// Caught up to the checkpoint: live ingestion
+						// starts with the next record.
+						srv.SetReady(true)
+					}
 				}
 				continue
 			}
@@ -236,31 +233,7 @@ func runFollow(r io.Reader, stdout, stderr io.Writer, opts followOpts) error {
 
 	fmt.Fprintf(stdout, "\nfollow: %d congestion alerts (%d freezes) from %d closed intervals\n",
 		alerts, freezes, snap.Metrics.IntervalsClosed)
-	if len(snap.Ranking) == 0 {
-		fmt.Fprintln(stdout, "tbdetect: no intervals closed; nothing to rank")
-	} else {
-		fmt.Fprintf(stdout, "\nfinal snapshot (watermark %v, window %v):\n",
-			simnet.Std(simnet.Duration(snap.At)), opts.window)
-		fmt.Fprintf(stdout, "%-12s  %8s  %12s  %10s  %6s\n",
-			"SERVER", "N*", "TPMAX(u/s)", "CONGESTED", "POIs")
-		count := 0
-		for _, ss := range snap.Ranking {
-			if opts.top > 0 && count >= opts.top {
-				break
-			}
-			count++
-			fmt.Fprintf(stdout, "%-12s  %8.1f  %12.0f  %9.1f%%  %6d\n",
-				ss.Server, ss.NStar.NStar, ss.NStar.TPMax,
-				100*ss.CongestedFraction, len(ss.POIs))
-		}
-		worst := snap.Ranking[0]
-		if worst.CongestedFraction > 0 {
-			fmt.Fprintf(stdout, "\nmost frequent transient bottleneck: %s (congested %.1f%% of window intervals)\n",
-				worst.Server, 100*worst.CongestedFraction)
-		} else {
-			fmt.Fprintln(stdout, "\nno transient bottlenecks detected")
-		}
-	}
+	printFinalSnapshot(stdout, snap, opts.window, opts.top)
 
 	if opts.metrics {
 		m := snap.Metrics
@@ -275,4 +248,59 @@ func runFollow(r io.Reader, stdout, stderr io.Writer, opts followOpts) error {
 		}
 	}
 	return nil
+}
+
+// printAlerts is the single consumer of a merged alert stream: congested
+// closures print as they seal (freezes flagged) and fan out to the
+// serving layer when one is attached. Shared by the follow and merge
+// modes so their operator-facing alert lines stay identical. Returns
+// the congested and freeze counts once the stream closes.
+func printAlerts(stdout io.Writer, srv *serve.Server, ch <-chan stream.Alert) (alerts, freezes int64) {
+	for a := range ch {
+		if a.State != core.StateCongested {
+			continue
+		}
+		if srv != nil {
+			srv.PublishAlert(a)
+		}
+		alerts++
+		verdict := "CONGESTED"
+		if a.POI {
+			freezes++
+			verdict = "FREEZE"
+		}
+		fmt.Fprintf(stdout, "ALERT %10v  %-12s  load=%-8.1f tp=%-8.0f %s\n",
+			simnet.Std(simnet.Duration(a.At)), a.Server, a.Load, a.TP, verdict)
+	}
+	return alerts, freezes
+}
+
+// printFinalSnapshot renders the ranked final window, shared by the
+// follow and merge modes.
+func printFinalSnapshot(stdout io.Writer, snap *stream.Snapshot, window time.Duration, top int) {
+	if len(snap.Ranking) == 0 {
+		fmt.Fprintln(stdout, "tbdetect: no intervals closed; nothing to rank")
+		return
+	}
+	fmt.Fprintf(stdout, "\nfinal snapshot (watermark %v, window %v):\n",
+		simnet.Std(simnet.Duration(snap.At)), window)
+	fmt.Fprintf(stdout, "%-12s  %8s  %12s  %10s  %6s\n",
+		"SERVER", "N*", "TPMAX(u/s)", "CONGESTED", "POIs")
+	count := 0
+	for _, ss := range snap.Ranking {
+		if top > 0 && count >= top {
+			break
+		}
+		count++
+		fmt.Fprintf(stdout, "%-12s  %8.1f  %12.0f  %9.1f%%  %6d\n",
+			ss.Server, ss.NStar.NStar, ss.NStar.TPMax,
+			100*ss.CongestedFraction, len(ss.POIs))
+	}
+	worst := snap.Ranking[0]
+	if worst.CongestedFraction > 0 {
+		fmt.Fprintf(stdout, "\nmost frequent transient bottleneck: %s (congested %.1f%% of window intervals)\n",
+			worst.Server, 100*worst.CongestedFraction)
+	} else {
+		fmt.Fprintln(stdout, "\nno transient bottlenecks detected")
+	}
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"transientbd/internal/jvm"
 	"transientbd/internal/ntier"
@@ -29,9 +30,13 @@ func NtierSim(args []string, stdout, stderr io.Writer) error {
 		bursty    = fs.Bool("bursty", true, "enable correlated client load bursts")
 		out       = fs.String("out", "-", "visit JSONL output path (- for stdout)")
 		msgOut    = fs.String("messages", "", "optional wire-message JSONL output path")
+		order     = fs.String("order", "arrive", "visit output order: arrive (transaction-assembly order) | depart (per-host completion-log order — what tbdetect agent ships and the merge head's node watermark assumes)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *order != "arrive" && *order != "depart" {
+		return fmt.Errorf("ntiersim: unknown order %q (arrive|depart)", *order)
 	}
 
 	cfg := ntier.Config{
@@ -61,6 +66,30 @@ func NtierSim(args []string, stdout, stderr io.Writer) error {
 	res, err := sys.Run()
 	if err != nil {
 		return err
+	}
+	if *order == "depart" {
+		// The merge head's canonical record order, so per-node splits of
+		// this trace satisfy the agent's depart-sorted feed contract and
+		// an N-agent run reproduces the single-feed analysis exactly.
+		sort.SliceStable(res.Visits, func(i, j int) bool {
+			a, b := res.Visits[i], res.Visits[j]
+			if a.Depart != b.Depart {
+				return a.Depart < b.Depart
+			}
+			if a.Server != b.Server {
+				return a.Server < b.Server
+			}
+			if a.Arrive != b.Arrive {
+				return a.Arrive < b.Arrive
+			}
+			if a.Class != b.Class {
+				return a.Class < b.Class
+			}
+			if a.TxnID != b.TxnID {
+				return a.TxnID < b.TxnID
+			}
+			return a.HopID < b.HopID
+		})
 	}
 
 	w := stdout

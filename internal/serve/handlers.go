@@ -143,6 +143,11 @@ type ShardHealthJSON struct {
 type ReadyJSON struct {
 	// Ready mirrors the HTTP status: true with 200, false with 503.
 	Ready bool `json:"ready"`
+	// Reason states why the server is not ready, when it has one —
+	// "resuming" while a restarted process replays the feed prefix its
+	// checkpoint already covers. Omitted when ready (and on not-ready
+	// states with no stated reason, e.g. before the first SetReady).
+	Reason string `json:"reason,omitempty"`
 }
 
 // ErrorJSON is every non-2xx JSON body.
@@ -250,7 +255,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, ReadyJSON{Ready: true})
 		return
 	}
-	writeJSON(w, http.StatusServiceUnavailable, ReadyJSON{Ready: false})
+	writeJSON(w, http.StatusServiceUnavailable, ReadyJSON{Ready: false, Reason: s.readyReason()})
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {

@@ -111,6 +111,105 @@ var promTable = []promMetric{
 		func(s *Server, _ stream.Metrics, w *strings.Builder) {
 			sample(w, "tbdetect_sse_dropped_total", s.hub.totalDropped.Load())
 		}},
+
+	// Multi-node ingestion families (tbdetect merge). Sampled only when
+	// Config.Nodes is set; a single-process follow server emits the
+	// HELP/TYPE headers with no samples, like checkpoint_age before the
+	// first checkpoint.
+	{"tbdetect_nodes", "gauge", "Ingestion nodes known to the merge head.",
+		nodeTotal("tbdetect_nodes", func(_ NodeView) bool { return true })},
+	{"tbdetect_nodes_connected", "gauge", "Ingestion nodes with a currently open agent session.",
+		nodeTotal("tbdetect_nodes_connected", func(n NodeView) bool { return n.Connected })},
+	{"tbdetect_nodes_degraded", "gauge", "Ingestion nodes silent past the heartbeat timeout, no longer holding back the barrier.",
+		nodeTotal("tbdetect_nodes_degraded", func(n NodeView) bool { return n.Degraded })},
+	{"tbdetect_node_connected", "gauge", "Per-node connection bit: 1 with an open agent session.",
+		nodeGauge("tbdetect_node_connected", func(n NodeView) int64 { return boolBit(n.Connected) })},
+	{"tbdetect_node_degraded", "gauge", "Per-node degrade bit: 1 while silent past the heartbeat timeout.",
+		nodeGauge("tbdetect_node_degraded", func(n NodeView) int64 { return boolBit(n.Degraded) })},
+	{"tbdetect_node_reconnects_total", "counter", "Agent sessions beyond the first, per node (each one a reconnect).",
+		nodeGauge("tbdetect_node_reconnects_total", func(n NodeView) int64 { return max64(n.Sessions-1, 0) })},
+	{"tbdetect_node_records_delivered_total", "counter", "Records applied from this node (after dedup).",
+		nodeGauge("tbdetect_node_records_delivered_total", func(n NodeView) int64 { return n.Delivered })},
+	{"tbdetect_node_records_deduped_total", "counter", "Records skipped as retransmissions of already-applied batches.",
+		nodeGauge("tbdetect_node_records_deduped_total", func(n NodeView) int64 { return n.Deduped })},
+	{"tbdetect_node_records_dropped_total", "counter", "Records dropped behind the release point after a degrade (exact loss accounting).",
+		nodeGauge("tbdetect_node_records_dropped_total", func(n NodeView) int64 { return n.Dropped })},
+	{"tbdetect_node_records_invalid_total", "counter", "Records rejected by validation, per node.",
+		nodeGauge("tbdetect_node_records_invalid_total", func(n NodeView) int64 { return n.Invalid })},
+	{"tbdetect_node_records_buffered", "gauge", "Records delivered by this node but not yet released by the barrier.",
+		nodeGauge("tbdetect_node_records_buffered", func(n NodeView) int64 { return n.Buffered })},
+	{"tbdetect_node_watermark_lag_seconds", "gauge", "Trace-time gap between the newest node watermark and this node's.",
+		func(s *Server, _ stream.Metrics, w *strings.Builder) {
+			views := s.nodeViews()
+			var lead int64
+			for _, n := range views {
+				if n.WatermarkMicros > lead {
+					lead = n.WatermarkMicros
+				}
+			}
+			for _, n := range views {
+				fmt.Fprintf(w, "tbdetect_node_watermark_lag_seconds{node=%q} %g\n",
+					n.Node, float64(lead-n.WatermarkMicros)/1e6)
+			}
+		}},
+	{"tbdetect_node_silence_seconds", "gauge", "Wall-clock seconds since this node's last frame (absent before the first).",
+		func(s *Server, _ stream.Metrics, w *strings.Builder) {
+			for _, n := range s.nodeViews() {
+				if n.LastFrameWall > 0 {
+					fmt.Fprintf(w, "tbdetect_node_silence_seconds{node=%q} %g\n",
+						n.Node, s.cfg.Now().Sub(time.Unix(0, n.LastFrameWall)).Seconds())
+				}
+			}
+		}},
+}
+
+// nodeViews samples Config.Nodes, nil-safe.
+func (s *Server) nodeViews() []NodeView {
+	if s.cfg.Nodes == nil {
+		return nil
+	}
+	return s.cfg.Nodes()
+}
+
+// nodeTotal renders an unlabeled gauge counting nodes matching pred —
+// but only when a node source is configured, so a follow-mode scrape
+// is unchanged.
+func nodeTotal(name string, pred func(NodeView) bool) func(*Server, stream.Metrics, *strings.Builder) {
+	return func(s *Server, _ stream.Metrics, w *strings.Builder) {
+		if s.cfg.Nodes == nil {
+			return
+		}
+		var total int64
+		for _, n := range s.nodeViews() {
+			if pred(n) {
+				total++
+			}
+		}
+		sample(w, name, total)
+	}
+}
+
+// nodeGauge renders one sample per node, labeled {node="..."}.
+func nodeGauge(name string, get func(NodeView) int64) func(*Server, stream.Metrics, *strings.Builder) {
+	return func(s *Server, _ stream.Metrics, w *strings.Builder) {
+		for _, n := range s.nodeViews() {
+			fmt.Fprintf(w, "%s{node=%q} %d\n", name, n.Node, get(n))
+		}
+	}
+}
+
+func boolBit(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // MetricNames lists every exported metric family name, in output order

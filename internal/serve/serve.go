@@ -62,6 +62,39 @@ type Config struct {
 	SubscriberQueue int
 	// Now is the wall clock, injectable for tests. Default time.Now.
 	Now func() time.Time
+	// Nodes, when set, samples the per-node ingestion state of a merge
+	// head (tbdetect merge): it enables the tbdetect_node_* metric
+	// families for reconnect/degrade alerting. Must be safe to call
+	// from any goroutine. Nil (the single-process follow mode) leaves
+	// the node families without samples.
+	Nodes func() []NodeView
+}
+
+// NodeView is one ingestion node's state as the serving layer exposes
+// it — a transport-neutral mirror of the merge head's per-node
+// accounting, so this package does not import the merge head.
+type NodeView struct {
+	// Node is the agent's stable identity (the Prometheus label value).
+	Node string
+	// WatermarkMicros is the newest departure the node has delivered,
+	// in microseconds of trace time; LastSeq the highest batch sequence
+	// applied.
+	WatermarkMicros int64
+	LastSeq         uint64
+	// Sessions counts handshakes so far (reconnects are Sessions-1);
+	// Connected reports a currently open session; Degraded that the
+	// node went silent past the heartbeat timeout; EOF that it finished
+	// its stream cleanly.
+	Sessions  int64
+	Connected bool
+	Degraded  bool
+	EOF       bool
+	// Delivered, Deduped, Dropped, Invalid and Buffered are the node's
+	// exact record accounting (see merge.NodeStatus).
+	Delivered, Deduped, Dropped, Invalid, Buffered int64
+	// LastFrameWall is the UnixNano wall time of the node's last frame
+	// (0 before the first).
+	LastFrameWall int64
 }
 
 // published is one snapshot publication: what the producer handed over
@@ -80,8 +113,9 @@ type Server struct {
 	httpd *http.Server
 	lis   net.Listener
 
-	snap  atomic.Pointer[published]
-	ready atomic.Bool
+	snap   atomic.Pointer[published]
+	ready  atomic.Bool
+	reason atomic.Value // string: why not ready ("" = no stated reason)
 }
 
 // New builds a Server. Start must be called to listen; Handler is
@@ -160,8 +194,29 @@ func (s *Server) PublishSnapshot(snap *stream.Snapshot) {
 func (s *Server) PublishAlert(a stream.Alert) { s.hub.publish(a) }
 
 // SetReady flips the /readyz readiness bit: true once the runtime is
-// ingesting, false while it drains. Readiness starts false.
-func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+// ingesting, false while it drains. Readiness starts false. Flipping
+// ready clears any reason set by SetNotReady.
+func (s *Server) SetReady(ready bool) {
+	if ready {
+		s.reason.Store("")
+	}
+	s.ready.Store(ready)
+}
+
+// SetNotReady flips the readiness bit off with a stated reason, which
+// /readyz reports alongside the 503 (e.g. "resuming" while a restarted
+// process replays the feed prefix its checkpoint already covers — the
+// process is alive but must not receive traffic-dependent probes yet).
+func (s *Server) SetNotReady(reason string) {
+	s.reason.Store(reason)
+	s.ready.Store(false)
+}
 
 // Ready reports the current readiness bit.
 func (s *Server) Ready() bool { return s.ready.Load() }
+
+// readyReason returns the stated not-ready reason ("" if none).
+func (s *Server) readyReason() string {
+	v, _ := s.reason.Load().(string)
+	return v
+}

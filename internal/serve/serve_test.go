@@ -252,6 +252,19 @@ func TestMetricNameStability(t *testing.T) {
 		"tbdetect_sse_subscribers",
 		"tbdetect_sse_published_total",
 		"tbdetect_sse_dropped_total",
+		"tbdetect_nodes",
+		"tbdetect_nodes_connected",
+		"tbdetect_nodes_degraded",
+		"tbdetect_node_connected",
+		"tbdetect_node_degraded",
+		"tbdetect_node_reconnects_total",
+		"tbdetect_node_records_delivered_total",
+		"tbdetect_node_records_deduped_total",
+		"tbdetect_node_records_dropped_total",
+		"tbdetect_node_records_invalid_total",
+		"tbdetect_node_records_buffered",
+		"tbdetect_node_watermark_lag_seconds",
+		"tbdetect_node_silence_seconds",
 	}
 	got := MetricNames()
 	if len(got) != len(want) {
@@ -356,6 +369,80 @@ func TestReadinessFlip(t *testing.T) {
 	}
 	if rec := get(t, s.Handler(), "/readyz"); rec.Code != http.StatusServiceUnavailable {
 		t.Errorf("after Shutdown: readyz = %d, want 503", rec.Code)
+	}
+}
+
+// TestReadyzReason: SetNotReady states why the 503, SetReady clears it,
+// and a ready response never carries a reason.
+func TestReadyzReason(t *testing.T) {
+	s := fixtureServer()
+	s.SetNotReady("resuming")
+	rec := get(t, s.Handler(), "/readyz")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz = %d, want 503", rec.Code)
+	}
+	var rj ReadyJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &rj); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if rj.Ready || rj.Reason != "resuming" {
+		t.Errorf("got %+v, want not ready with reason %q", rj, "resuming")
+	}
+	s.SetReady(true)
+	rec = get(t, s.Handler(), "/readyz")
+	if strings.Contains(rec.Body.String(), "reason") {
+		t.Errorf("ready response carries a reason: %s", rec.Body.String())
+	}
+	s.SetReady(false)
+	rec = get(t, s.Handler(), "/readyz")
+	if strings.Contains(rec.Body.String(), "reason") {
+		t.Errorf("reason survived a SetReady cycle: %s", rec.Body.String())
+	}
+}
+
+// TestNodeMetrics: with a node source the tbdetect_node_* families carry
+// per-node samples; without one they render headers only, so a
+// single-process scrape is unchanged beyond the appended HELP/TYPE.
+func TestNodeMetrics(t *testing.T) {
+	bare := get(t, fixtureServer().Handler(), "/metrics").Body.String()
+	if strings.Contains(bare, `{node=`) {
+		t.Fatalf("node samples rendered without a node source:\n%s", bare)
+	}
+
+	views := []NodeView{
+		{Node: "n1", WatermarkMicros: 5_000_000, Sessions: 3, Connected: true,
+			Delivered: 1000, Deduped: 40, Buffered: 7, LastFrameWall: fixedNow.Add(-2 * time.Second).UnixNano()},
+		{Node: "n2", WatermarkMicros: 2_000_000, Sessions: 1, Degraded: true,
+			Delivered: 400, Dropped: 25, LastFrameWall: fixedNow.Add(-30 * time.Second).UnixNano()},
+	}
+	s := New(Config{
+		Metrics: func() stream.Metrics { return fixtureMetrics() },
+		Health:  func() []stream.ShardHealth { return fixtureHealth() },
+		Now:     func() time.Time { return fixedNow },
+		Nodes:   func() []NodeView { return views },
+	})
+	body := get(t, s.Handler(), "/metrics").Body.String()
+	for _, want := range []string{
+		"tbdetect_nodes 2\n",
+		"tbdetect_nodes_connected 1\n",
+		"tbdetect_nodes_degraded 1\n",
+		`tbdetect_node_connected{node="n1"} 1`,
+		`tbdetect_node_connected{node="n2"} 0`,
+		`tbdetect_node_degraded{node="n2"} 1`,
+		`tbdetect_node_reconnects_total{node="n1"} 2`,
+		`tbdetect_node_reconnects_total{node="n2"} 0`,
+		`tbdetect_node_records_delivered_total{node="n1"} 1000`,
+		`tbdetect_node_records_deduped_total{node="n1"} 40`,
+		`tbdetect_node_records_dropped_total{node="n2"} 25`,
+		`tbdetect_node_records_buffered{node="n1"} 7`,
+		`tbdetect_node_watermark_lag_seconds{node="n1"} 0`,
+		`tbdetect_node_watermark_lag_seconds{node="n2"} 3`,
+		`tbdetect_node_silence_seconds{node="n1"} 2`,
+		`tbdetect_node_silence_seconds{node="n2"} 30`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape is missing %q", want)
+		}
 	}
 }
 

@@ -1,0 +1,180 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"transientbd/internal/trace"
+)
+
+// roundtrip writes every frame type through a buffer and decodes it
+// back, asserting field-exact equality.
+func TestRoundtrip(t *testing.T) {
+	visits := []trace.Visit{
+		{Server: "web-1", Class: "small", TxnID: 7, HopID: 1, Arrive: 100, Depart: 260, Downstream: 40},
+		{Server: "db-1", Class: "big", TxnID: -3, HopID: 2, Arrive: 150, Depart: 240},
+		{Server: "", Class: "", Arrive: 0, Depart: 0}, // degenerate but encodable
+	}
+	frames := []Frame{
+		{Type: TypeHello, Hello: Hello{Version: Version, Node: "host-a", FirstSeq: 33}},
+		{Type: TypeWelcome, Welcome: Welcome{Version: Version, LastAcked: 42}},
+		{Type: TypeBatch, Batch: Batch{Seq: 9, Visits: visits}},
+		{Type: TypeBatch, Batch: Batch{Seq: 10, Visits: []trace.Visit{}}},
+		{Type: TypeAck, Ack: Ack{Seq: 9}},
+		{Type: TypeHeartbeat, Heartbeat: Heartbeat{MaxDepart: -5}},
+		{Type: TypeGoodbye, Goodbye: Goodbye{FinalSeq: 10, Reason: "eof"}},
+		{Type: TypeError, Error: ErrorFrame{Msg: "version mismatch"}},
+	}
+
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, f := range frames {
+		var err error
+		switch f.Type {
+		case TypeHello:
+			err = w.WriteHello(f.Hello)
+		case TypeWelcome:
+			err = w.WriteWelcome(f.Welcome)
+		case TypeBatch:
+			err = w.WriteBatch(f.Batch)
+		case TypeAck:
+			err = w.WriteAck(f.Ack)
+		case TypeHeartbeat:
+			err = w.WriteHeartbeat(f.Heartbeat)
+		case TypeGoodbye:
+			err = w.WriteGoodbye(f.Goodbye)
+		case TypeError:
+			err = w.WriteError(f.Error)
+		}
+		if err != nil {
+			t.Fatalf("write type %d: %v", f.Type, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(&buf)
+	for i, want := range frames {
+		got, err := r.Read()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("frame %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := r.Read(); !errors.Is(err, io.EOF) {
+		t.Fatalf("want clean EOF at end, got %v", err)
+	}
+}
+
+// A flipped payload byte must fail the CRC, and a flipped CRC byte
+// likewise — corruption is never delivered as data.
+func TestCRCCatchesCorruption(t *testing.T) {
+	encode := func() []byte {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.WriteBatch(Batch{Seq: 1, Visits: []trace.Visit{{Server: "s", Arrive: 1, Depart: 2}}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	base := encode()
+	for pos := 4; pos < len(base); pos++ { // every byte past the length prefix
+		mangled := append([]byte(nil), base...)
+		mangled[pos] ^= 0x40
+		_, err := NewReader(bytes.NewReader(mangled)).Read()
+		if err == nil {
+			t.Fatalf("flipped byte %d decoded cleanly", pos)
+		}
+	}
+}
+
+// A connection cut mid-frame is ErrUnexpectedEOF (retransmission
+// territory), never a clean EOF.
+func TestTruncationIsUnexpectedEOF(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteBatch(Batch{Seq: 1, Visits: []trace.Visit{{Server: "s", Arrive: 1, Depart: 2}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	for cut := 1; cut < len(whole); cut++ {
+		_, err := NewReader(bytes.NewReader(whole[:cut])).Read()
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut at %d: want ErrUnexpectedEOF, got %v", cut, err)
+		}
+	}
+}
+
+// Absurd length prefixes are rejected before any allocation.
+func TestFrameSizeBound(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrameSize+1)
+	_, err := NewReader(bytes.NewReader(hdr[:])).Read()
+	if !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("want ErrFrameTooBig, got %v", err)
+	}
+	binary.BigEndian.PutUint32(hdr[:], 0)
+	_, err = NewReader(bytes.NewReader(hdr[:])).Read()
+	if !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("zero-length frame: want ErrFrameTooBig, got %v", err)
+	}
+}
+
+// A forged batch count larger than the remaining payload must be
+// rejected without allocating the claimed capacity.
+func TestForgedBatchCount(t *testing.T) {
+	body := []byte{TypeBatch}
+	body = binary.AppendUvarint(body, 1)          // seq
+	body = binary.AppendUvarint(body, 1<<40)      // absurd count
+	body = append(body, 0, 0, 0, 0, 0, 0, 0, 0, 0) // one tiny visit's worth
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	buf.Write(hdr[:])
+	buf.Write(body)
+	binary.BigEndian.PutUint32(hdr[:], crcOf(body))
+	buf.Write(hdr[:])
+	if _, err := NewReader(&buf).Read(); err == nil {
+		t.Fatal("forged batch count decoded cleanly")
+	}
+}
+
+func crcOf(b []byte) uint32 {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.buf = append(w.buf[:0], b...)
+	if err := w.writeFrame(); err != nil {
+		return 0
+	}
+	if err := w.Flush(); err != nil {
+		return 0
+	}
+	out := buf.Bytes()
+	return binary.BigEndian.Uint32(out[len(out)-4:])
+}
+
+// Unknown frame types and trailing bytes are both protocol errors.
+func TestUnknownTypeAndTrailing(t *testing.T) {
+	if _, err := decodeFrame([]byte{99}); err == nil {
+		t.Fatal("unknown type decoded cleanly")
+	}
+	body := []byte{TypeAck}
+	body = binary.AppendUvarint(body, 7)
+	body = append(body, 0xAB) // trailing garbage
+	if _, err := decodeFrame(body); err == nil {
+		t.Fatal("trailing bytes decoded cleanly")
+	}
+}
