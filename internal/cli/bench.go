@@ -20,8 +20,12 @@ import (
 )
 
 // benchResult is one row of BENCH_analyze.json: the measured cost of the
-// full detection pipeline at one worker count.
+// full detection pipeline at one (GOMAXPROCS, worker count) point.
+// SpeedupVsSerial is relative to workers=1 at the same GOMAXPROCS, so the
+// scaling curve is readable within each CPU row of the matrix. CPUs is 0
+// in reports written before the matrix existed.
 type benchResult struct {
+	CPUs            int     `json:"cpus,omitempty"`
 	Workers         int     `json:"workers"`
 	NsPerOp         int64   `json:"ns_per_op"`
 	AllocsPerOp     int64   `json:"allocs_per_op"`
@@ -46,26 +50,41 @@ type benchReport struct {
 }
 
 // ExperimentsBench measures the parallel analysis pipeline over a
-// synthetic multi-server bursty trace at each requested worker count and
-// writes the results as BENCH_analyze.json. With -online it instead
-// measures ingest through the sharded streaming runtime at each
-// requested shard count and writes BENCH_online.json. The trace is
-// deterministic (seeded), so runs are comparable across commits on the
-// same hardware.
+// synthetic multi-server bursty trace at each requested (GOMAXPROCS,
+// worker count) point and writes the results as BENCH_analyze.json. With
+// -online it instead measures ingest through the sharded streaming
+// runtime at each (GOMAXPROCS, shard count) point and writes
+// BENCH_online.json. The trace is deterministic (seeded), so runs are
+// comparable across commits on the same hardware.
+//
+// Two guard rails protect the committed baselines:
+//
+//   - A run whose largest GOMAXPROCS is 1 refuses to write a results
+//     file unless -allow-single-cpu is passed (printing with `-out -` is
+//     always allowed): the baselines are multi-core scaling matrices,
+//     and silently overwriting them with serial numbers would make every
+//     later comparison lie.
+//   - -compare diffs the fresh run against a baseline file and returns a
+//     non-zero exit when any row regresses beyond -tolerance. See
+//     compareBenchReports for what is compared when.
 func ExperimentsBench(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("experiments bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		records  = fs.Int("records", 200000, "synthetic visit count")
-		servers  = fs.Int("servers", 8, "server count (parallelism is per-server)")
-		classes  = fs.Int("classes", 3, "request-class count (drives normalization)")
-		seed     = fs.Int64("seed", 1, "trace generator seed")
-		workers  = fs.String("workers", "1,2,4,8", "comma-separated worker counts to measure")
-		out      = fs.String("out", "BENCH_analyze.json", "output path (- for stdout)")
-		interval = fs.Duration("interval", 50*time.Millisecond, "monitoring interval")
-		online   = fs.Bool("online", false, "benchmark the sharded streaming runtime instead of the batch pipeline")
-		shards   = fs.String("shards", "1,4,8", "with -online: comma-separated shard counts to measure")
-		cpus     = fs.String("cpus", "", "with -online: comma-separated GOMAXPROCS values to sweep (empty = current setting only)")
+		records     = fs.Int("records", 200000, "synthetic visit count")
+		servers     = fs.Int("servers", 8, "server count (parallelism is per-server)")
+		classes     = fs.Int("classes", 3, "request-class count (drives normalization)")
+		seed        = fs.Int64("seed", 1, "trace generator seed")
+		workers     = fs.String("workers", "1,2,4,8", "comma-separated worker counts to measure")
+		out         = fs.String("out", "BENCH_analyze.json", "output path (- for stdout)")
+		interval    = fs.Duration("interval", 50*time.Millisecond, "monitoring interval")
+		online      = fs.Bool("online", false, "benchmark the sharded streaming runtime instead of the batch pipeline")
+		shards      = fs.String("shards", "1,4,8", "with -online: comma-separated shard counts to measure")
+		cpus        = fs.String("cpus", "", "comma-separated GOMAXPROCS values to sweep (empty = current setting only)")
+		repeat      = fs.Int("repeat", 3, "measurements per sweep point; the fastest is kept (noise floor)")
+		allowSingle = fs.Bool("allow-single-cpu", false, "permit writing a results file from a GOMAXPROCS=1 run")
+		compareTo   = fs.String("compare", "", "baseline JSON to diff against; exit non-zero on regression beyond -tolerance")
+		tolerance   = fs.Float64("tolerance", benchDefaultTolerance, "relative regression tolerance for -compare")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,85 +92,153 @@ func ExperimentsBench(args []string, stdout, stderr io.Writer) error {
 	if *records < *servers {
 		return fmt.Errorf("experiments bench: need at least one record per server")
 	}
-	if *online {
-		counts, err := parseCounts(*shards, "-shards")
-		if err != nil {
+	if *repeat < 1 {
+		return fmt.Errorf("experiments bench: -repeat must be at least 1")
+	}
+	cpuCounts := []int{runtime.GOMAXPROCS(0)}
+	if *cpus != "" {
+		var err error
+		if cpuCounts, err = parseCounts(*cpus, "-cpus"); err != nil {
 			return err
 		}
-		cpuCounts := []int{runtime.GOMAXPROCS(0)}
-		if *cpus != "" {
-			if cpuCounts, err = parseCounts(*cpus, "-cpus"); err != nil {
-				return err
-			}
-		}
+	}
+	if *online && *out == "BENCH_analyze.json" {
 		// The default output name tracks the benchmark being run; an
 		// explicit -out always wins.
-		if *out == "BENCH_analyze.json" {
-			*out = "BENCH_online.json"
-		}
-		return benchOnline(cpuCounts, counts, *records, *servers, *classes, *seed, *interval, *out, stdout, stderr)
+		*out = "BENCH_online.json"
 	}
-	counts, err := parseCounts(*workers, "-workers")
+	maxProcs := 0
+	for _, n := range cpuCounts {
+		if n > maxProcs {
+			maxProcs = n
+		}
+	}
+	if maxProcs == 1 && *out != "-" && !*allowSingle {
+		return fmt.Errorf("experiments bench: refusing to write %s from a GOMAXPROCS=1 run: the committed baselines are multi-core scaling matrices and single-CPU numbers would silently replace them; re-run with -cpus including a value > 1, print with `-out -`, or force with -allow-single-cpu", *out)
+	}
+
+	var (
+		report any
+		cmp    *benchComparable
+		err    error
+	)
+	if *online {
+		var counts []int
+		if counts, err = parseCounts(*shards, "-shards"); err != nil {
+			return err
+		}
+		var rep onlineBenchReport
+		rep, err = benchOnline(cpuCounts, counts, *records, *servers, *classes, *seed, *interval, *repeat, stderr)
+		report, cmp = &rep, rep.comparable()
+	} else {
+		var counts []int
+		if counts, err = parseCounts(*workers, "-workers"); err != nil {
+			return err
+		}
+		var rep benchReport
+		rep, err = benchAnalyze(cpuCounts, counts, *records, *servers, *classes, *seed, *interval, *repeat, stderr)
+		report, cmp = &rep, rep.comparable()
+	}
 	if err != nil {
 		return err
 	}
 
-	perServer, w := BenchVisits(*records, *servers, *classes, *seed)
-	iv := simnet.FromStdDuration(*interval)
-
-	report := benchReport{
-		Benchmark:  "core.AnalyzeSystemGrouped",
-		Records:    *records,
-		Servers:    *servers,
-		Classes:    *classes,
-		IntervalMS: int64(*interval / time.Millisecond),
-		Seed:       *seed,
-		NumCPU:     runtime.NumCPU(),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		GoVersion:  runtime.Version(),
-	}
-	var serialNs int64
-	for _, nw := range counts {
-		opts := core.Options{Interval: iv, Parallelism: nw}
-		res := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				if _, err := core.AnalyzeSystemGrouped(perServer, w, opts); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
-		row := benchResult{
-			Workers:     nw,
-			NsPerOp:     res.NsPerOp(),
-			AllocsPerOp: res.AllocsPerOp(),
-			BytesPerOp:  res.AllocedBytesPerOp(),
-		}
-		if nw == 1 {
-			serialNs = row.NsPerOp
-		}
-		if serialNs > 0 {
-			row.SpeedupVsSerial = float64(serialNs) / float64(row.NsPerOp)
-		}
-		report.Results = append(report.Results, row)
-		fmt.Fprintf(stderr, "bench: workers=%d  %d ns/op  %d allocs/op  speedup %.2fx\n",
-			nw, row.NsPerOp, row.AllocsPerOp, row.SpeedupVsSerial)
-	}
-
-	data, err := json.MarshalIndent(&report, "", "  ")
+	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return fmt.Errorf("experiments bench: %w", err)
 	}
 	data = append(data, '\n')
 	if *out == "-" {
-		_, err = stdout.Write(data)
-		return err
+		if _, err := stdout.Write(data); err != nil {
+			return err
+		}
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return fmt.Errorf("experiments bench: %w", err)
+		}
+		fmt.Fprintf(stderr, "bench: wrote %s\n", *out)
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		return fmt.Errorf("experiments bench: %w", err)
+	if *compareTo != "" {
+		baseline, err := loadBenchBaseline(*compareTo, *online)
+		if err != nil {
+			return err
+		}
+		if err := compareBenchReports(baseline, cmp, *tolerance, stderr); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "bench: no regression beyond %.0f%% vs %s\n", *tolerance*100, *compareTo)
 	}
-	fmt.Fprintf(stderr, "bench: wrote %s\n", *out)
 	return nil
+}
+
+// benchAnalyze measures the batch analysis pipeline at each (GOMAXPROCS,
+// worker count) pair. GOMAXPROCS is restored to its entry value before
+// returning.
+func benchAnalyze(cpuCounts, counts []int, records, servers, classes int, seed int64, interval time.Duration, repeat int, stderr io.Writer) (benchReport, error) {
+	perServer, w := BenchVisits(records, servers, classes, seed)
+	iv := simnet.FromStdDuration(interval)
+
+	report := benchReport{
+		Benchmark:  "core.AnalyzeSystemGrouped",
+		Records:    records,
+		Servers:    servers,
+		Classes:    classes,
+		IntervalMS: int64(interval / time.Millisecond),
+		Seed:       seed,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+	prevProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prevProcs)
+	for _, ncpu := range cpuCounts {
+		runtime.GOMAXPROCS(ncpu)
+		var serialNs int64
+		for _, nw := range counts {
+			opts := core.Options{Interval: iv, Parallelism: nw}
+			res := benchmarkMin(repeat, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.AnalyzeSystemGrouped(perServer, w, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			row := benchResult{
+				CPUs:        ncpu,
+				Workers:     nw,
+				NsPerOp:     res.NsPerOp(),
+				AllocsPerOp: res.AllocsPerOp(),
+				BytesPerOp:  res.AllocedBytesPerOp(),
+			}
+			if nw == 1 {
+				serialNs = row.NsPerOp
+			}
+			if serialNs > 0 {
+				row.SpeedupVsSerial = float64(serialNs) / float64(row.NsPerOp)
+			}
+			report.Results = append(report.Results, row)
+			fmt.Fprintf(stderr, "bench: cpus=%d workers=%d  %d ns/op  %d allocs/op  speedup %.2fx\n",
+				ncpu, nw, row.NsPerOp, row.AllocsPerOp, row.SpeedupVsSerial)
+		}
+	}
+	return report, nil
+}
+
+// benchmarkMin measures f reps times and keeps the fastest result: the
+// minimum over repetitions is the standard noise-floor estimator — every
+// slower repetition differs from it only by scheduler and cache
+// interference, which is exactly what a regression comparison wants to
+// ignore.
+func benchmarkMin(reps int, f func(b *testing.B)) testing.BenchmarkResult {
+	var best testing.BenchmarkResult
+	for i := 0; i < reps; i++ {
+		res := testing.Benchmark(f)
+		if i == 0 || res.NsPerOp() < best.NsPerOp() {
+			best = res
+		}
+	}
+	return best
 }
 
 // parseCounts parses a comma-separated list of positive integers (the
@@ -208,7 +295,7 @@ type onlineBenchReport struct {
 // the same deterministic workload as the batch bench, flattened into
 // departure order as a passive tracer would deliver it. GOMAXPROCS is
 // restored to its entry value before returning.
-func benchOnline(cpuCounts, counts []int, records, servers, classes int, seed int64, interval time.Duration, out string, stdout, stderr io.Writer) error {
+func benchOnline(cpuCounts, counts []int, records, servers, classes int, seed int64, interval time.Duration, repeat int, stderr io.Writer) (onlineBenchReport, error) {
 	visits := BenchVisitStream(records, servers, classes, seed)
 	iv := simnet.FromStdDuration(interval)
 
@@ -233,7 +320,7 @@ func benchOnline(cpuCounts, counts []int, records, servers, classes int, seed in
 				Online: core.OnlineOptions{Options: core.Options{Interval: iv}},
 				Shards: n,
 			}
-			res := testing.Benchmark(func(b *testing.B) {
+			res := benchmarkMin(repeat, func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					rt, err := stream.New(cfg)
@@ -276,22 +363,7 @@ func benchOnline(cpuCounts, counts []int, records, servers, classes int, seed in
 				ncpu, n, row.NsPerOp, row.RecordsPerSec, row.SpeedupVsSingle)
 		}
 	}
-	runtime.GOMAXPROCS(prevProcs)
-
-	data, err := json.MarshalIndent(&report, "", "  ")
-	if err != nil {
-		return fmt.Errorf("experiments bench: %w", err)
-	}
-	data = append(data, '\n')
-	if out == "-" {
-		_, err = stdout.Write(data)
-		return err
-	}
-	if err := os.WriteFile(out, data, 0o644); err != nil {
-		return fmt.Errorf("experiments bench: %w", err)
-	}
-	fmt.Fprintf(stderr, "bench: wrote %s\n", out)
-	return nil
+	return report, nil
 }
 
 // BenchVisitStream flattens the BenchVisits workload into the single

@@ -1,0 +1,157 @@
+package cli
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// benchDefaultTolerance is the default relative regression band for
+// `experiments bench -compare`: a row fails when it is more than 15%
+// worse than the baseline. The CI bench-guard job runs at this default;
+// PERFORMANCE.md documents the contract and the baseline-update runbook.
+const benchDefaultTolerance = 0.15
+
+// benchComparable is the comparison view of either bench report type:
+// the workload identity (which must match for any comparison to be
+// meaningful), the machine identity (which must match for wall-clock
+// comparisons to be meaningful), and the per-row metrics keyed by the
+// sweep point.
+//
+// The two metric classes are deliberately held to different standards:
+//
+//   - allocs_per_op is machine-independent — the same code over the same
+//     deterministic workload allocates the same way on a laptop and in
+//     CI — so allocation regressions are enforced everywhere, always.
+//   - ns_per_op is only meaningful against a baseline measured on
+//     comparable hardware, so wall-clock regressions are enforced only
+//     when the baseline's num_cpu matches the current machine; otherwise
+//     they are reported but do not fail the comparison.
+type benchComparable struct {
+	workload string // fingerprint: benchmark name + workload knobs
+	numCPU   int
+	goVer    string
+	rows     map[string]benchCmpRow
+	keys     []string // insertion order, for stable output
+}
+
+type benchCmpRow struct {
+	ns     int64
+	allocs int64
+}
+
+func (r *benchReport) comparable() *benchComparable {
+	c := &benchComparable{
+		workload: fmt.Sprintf("%s records=%d servers=%d classes=%d interval=%dms seed=%d",
+			r.Benchmark, r.Records, r.Servers, r.Classes, r.IntervalMS, r.Seed),
+		numCPU: r.NumCPU,
+		goVer:  r.GoVersion,
+		rows:   make(map[string]benchCmpRow, len(r.Results)),
+	}
+	for _, row := range r.Results {
+		key := fmt.Sprintf("cpus=%d workers=%d", row.CPUs, row.Workers)
+		c.rows[key] = benchCmpRow{ns: row.NsPerOp, allocs: row.AllocsPerOp}
+		c.keys = append(c.keys, key)
+	}
+	return c
+}
+
+func (r *onlineBenchReport) comparable() *benchComparable {
+	c := &benchComparable{
+		workload: fmt.Sprintf("%s records=%d servers=%d classes=%d interval=%dms seed=%d",
+			r.Benchmark, r.Records, r.Servers, r.Classes, r.IntervalMS, r.Seed),
+		numCPU: r.NumCPU,
+		goVer:  r.GoVersion,
+		rows:   make(map[string]benchCmpRow, len(r.Results)),
+	}
+	for _, row := range r.Results {
+		key := fmt.Sprintf("cpus=%d shards=%d", row.CPUs, row.Shards)
+		c.rows[key] = benchCmpRow{ns: row.NsPerOp, allocs: row.AllocsPerOp}
+		c.keys = append(c.keys, key)
+	}
+	return c
+}
+
+// loadBenchBaseline reads a committed baseline file in the schema
+// selected by the -online flag (BENCH_online.json vs BENCH_analyze.json).
+func loadBenchBaseline(path string, online bool) (*benchComparable, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("experiments bench: baseline: %w", err)
+	}
+	if online {
+		var rep onlineBenchReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return nil, fmt.Errorf("experiments bench: baseline %s: %w", path, err)
+		}
+		return rep.comparable(), nil
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("experiments bench: baseline %s: %w", path, err)
+	}
+	return rep.comparable(), nil
+}
+
+// compareBenchReports diffs a fresh run against a baseline and returns an
+// error listing every enforced regression beyond tol (relative). Workload
+// mismatch is an error outright — numbers from different workloads
+// cannot be compared at all. Rows present on only one side are reported
+// but never fail: sweeps may legitimately grow or shrink.
+func compareBenchReports(baseline, fresh *benchComparable, tol float64, w io.Writer) error {
+	if baseline.workload != fresh.workload {
+		return fmt.Errorf("experiments bench: baseline workload %q differs from this run %q: regenerate the baseline or match its flags", baseline.workload, fresh.workload)
+	}
+	timing := baseline.numCPU == fresh.numCPU
+	if !timing {
+		fmt.Fprintf(w, "bench: baseline num_cpu=%d, this machine num_cpu=%d: wall-clock deltas reported but not enforced\n", baseline.numCPU, fresh.numCPU)
+	}
+	if baseline.goVer != fresh.goVer {
+		fmt.Fprintf(w, "bench: baseline built with %s, this run with %s\n", baseline.goVer, fresh.goVer)
+	}
+	rel := func(old, new int64) float64 {
+		if old <= 0 {
+			return 0
+		}
+		return float64(new-old) / float64(old)
+	}
+	var failures []string
+	for _, key := range fresh.keys {
+		nrow := fresh.rows[key]
+		orow, ok := baseline.rows[key]
+		if !ok {
+			fmt.Fprintf(w, "bench: %-24s not in baseline (new sweep point)\n", key)
+			continue
+		}
+		dNs, dAllocs := rel(orow.ns, nrow.ns), rel(orow.allocs, nrow.allocs)
+		fmt.Fprintf(w, "bench: %-24s ns/op %+7.1f%%  allocs/op %+7.1f%%\n", key, dNs*100, dAllocs*100)
+		if nrow.allocs > orow.allocs && (orow.allocs == 0 || dAllocs > tol) {
+			failures = append(failures,
+				fmt.Sprintf("%s: allocs/op %d -> %d (%+.1f%%, tolerance %.0f%%)", key, orow.allocs, nrow.allocs, dAllocs*100, tol*100))
+		}
+		if timing && dNs > tol {
+			failures = append(failures,
+				fmt.Sprintf("%s: ns/op %d -> %d (%+.1f%%, tolerance %.0f%%)", key, orow.ns, nrow.ns, dNs*100, tol*100))
+		}
+	}
+	var missing []string
+	for key := range baseline.rows {
+		if _, ok := fresh.rows[key]; !ok {
+			missing = append(missing, key)
+		}
+	}
+	sort.Strings(missing)
+	for _, key := range missing {
+		fmt.Fprintf(w, "bench: %-24s in baseline but not measured this run\n", key)
+	}
+	if len(failures) > 0 {
+		msg := "experiments bench: regression vs baseline:"
+		for _, f := range failures {
+			msg += "\n  " + f
+		}
+		return fmt.Errorf("%s", msg)
+	}
+	return nil
+}

@@ -3,8 +3,10 @@ package core
 import (
 	"errors"
 	"math"
+	"math/rand"
 	"testing"
 
+	"transientbd/internal/metrics"
 	"transientbd/internal/simnet"
 	"transientbd/internal/trace"
 )
@@ -92,5 +94,135 @@ func TestErrNoVisitsWrapping(t *testing.T) {
 	_, err := AnalyzeServer("x", nil, nil, Window{Start: 0, End: simnet.Second}, Options{})
 	if !errors.Is(err, ErrNoVisits) {
 		t.Errorf("err = %v, want ErrNoVisits", err)
+	}
+}
+
+// oracleLoadSeries is the original sort-based load computation (the
+// StepAccumulator sweep LoadSeries used before the incremental
+// metrics.LoadAccumulator replaced it), kept verbatim as the reference
+// implementation for the equivalence property below.
+func oracleLoadSeries(t *testing.T, visits []trace.Visit, w Window, interval simnet.Duration) *metrics.IntervalSeries {
+	t.Helper()
+	acc := metrics.NewStepAccumulatorCap(0, 2*len(visits))
+	for _, v := range visits {
+		acc.Change(v.Arrive, 1)
+		acc.Change(v.Depart, -1)
+	}
+	s, err := acc.Average(w.Start, w.End, interval)
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	return s
+}
+
+// TestLoadAccumulatorMatchesStepOracle pins the incremental
+// LoadAccumulator to the sort-based sweep bit-for-bit: both sum exact
+// integer microsecond counts per interval (exact in float64, so addition
+// order cannot matter), and must therefore agree with == — no epsilon —
+// across adversarial visit sets: dense overlap, zero-length spans,
+// inverted spans (depart before arrive), spans straddling either window
+// edge, spans entirely outside the window, far-future timestamps, and a
+// window whose span is not a multiple of the interval width.
+func TestLoadAccumulatorMatchesStepOracle(t *testing.T) {
+	windows := []struct {
+		name     string
+		w        Window
+		interval simnet.Duration
+	}{
+		{"aligned", Window{Start: 0, End: 10 * simnet.Second}, 50 * ms},
+		{"offset-start", Window{Start: 7*ms + 123, End: 4 * simnet.Second}, 50 * ms},
+		{"ragged-last-interval", Window{Start: 0, End: 3*simnet.Second + 47*ms}, 50 * ms},
+		{"single-interval", Window{Start: simnet.Second, End: simnet.Second + 50*ms}, 50 * ms},
+		{"wide-intervals", Window{Start: 0, End: 10 * simnet.Second}, 700 * ms},
+	}
+	for _, tc := range windows {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 20; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				span := int64(tc.w.End - tc.w.Start)
+				n := 50 + rng.Intn(400)
+				visits := make([]trace.Visit, 0, n)
+				for i := 0; i < n; i++ {
+					// Arrivals may land before, inside, or after the window.
+					arrive := tc.w.Start + simnet.Time(rng.Int63n(2*span)-span/2)
+					var depart simnet.Time
+					switch rng.Intn(10) {
+					case 0: // zero-length span
+						depart = arrive
+					case 1: // inverted span (hostile feed)
+						depart = arrive - simnet.Time(rng.Int63n(span/4+1))
+					case 2: // far-future departure
+						depart = tc.w.End + simnet.Time(rng.Int63n(span+1))
+					default: // ordinary span, often crossing interval edges
+						depart = arrive + simnet.Time(rng.Int63n(span/3+1))
+					}
+					visits = append(visits, trace.Visit{
+						Server: "srv", Class: "q", TxnID: int64(i),
+						Arrive: arrive, Depart: depart,
+					})
+				}
+				// Out-of-order delivery: both forms must be order-blind.
+				rng.Shuffle(len(visits), func(i, j int) {
+					visits[i], visits[j] = visits[j], visits[i]
+				})
+				got, err := LoadSeries(visits, tc.w, tc.interval)
+				if err != nil {
+					t.Fatalf("seed %d: LoadSeries: %v", seed, err)
+				}
+				want := oracleLoadSeries(t, visits, tc.w, tc.interval)
+				if got.Len() != want.Len() || got.Start() != want.Start() || got.Width() != want.Width() {
+					t.Fatalf("seed %d: shape (%d,%v,%v) != oracle (%d,%v,%v)",
+						seed, got.Len(), got.Start(), got.Width(),
+						want.Len(), want.Start(), want.Width())
+				}
+				for i := 0; i < got.Len(); i++ {
+					if got.Value(i) != want.Value(i) {
+						t.Fatalf("seed %d interval %d: accumulator %v != oracle %v (bit-exact equality required)",
+							seed, i, got.Value(i), want.Value(i))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLoadAccumulatorReset verifies the storage-reusing Reset path gives
+// the same series as a fresh accumulator for the new window.
+func TestLoadAccumulatorReset(t *testing.T) {
+	acc, err := metrics.NewLoadAccumulator(0, 10*simnet.Second, 50*ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc.Add(100*ms, 400*ms)
+	// Re-target at a shorter window: storage is reused, old content gone.
+	if err := acc.Reset(simnet.Second, 3*simnet.Second, 100*ms); err != nil {
+		t.Fatal(err)
+	}
+	acc.Add(simnet.Second+150*ms, simnet.Second+250*ms)
+	got, err := acc.Series()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := metrics.NewLoadAccumulator(simnet.Second, 3*simnet.Second, 100*ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh.Add(simnet.Second+150*ms, simnet.Second+250*ms)
+	want, err := fresh.Series()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("Len %d != %d", got.Len(), want.Len())
+	}
+	for i := 0; i < got.Len(); i++ {
+		if got.Value(i) != want.Value(i) {
+			t.Fatalf("interval %d: reset %v != fresh %v", i, got.Value(i), want.Value(i))
+		}
+	}
+	// [1.15s,1.25s) straddles intervals [1.1,1.2) and [1.2,1.3): 50 ms in
+	// each 100 ms interval → load 0.5 in both.
+	if got.Value(1) != 0.5 || got.Value(2) != 0.5 {
+		t.Fatalf("intervals 1,2 load = %v,%v, want 0.5,0.5", got.Value(1), got.Value(2))
 	}
 }

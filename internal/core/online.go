@@ -41,6 +41,13 @@ type Online struct {
 	hasNStar    bool
 	reestimates int64
 
+	// Reused scratch, so the steady-state Observe/Advance path allocates
+	// nothing (the allocation-budget contract in PERFORMANCE.md, pinned
+	// by TestOnlineObserveAllocBudget): pts backs reestimate's point set,
+	// svcSorted backs serviceTable's percentile sort.
+	ptsScratch []Point
+	svcSorted  []float64
+
 	// fixedSvc, when non-nil, is a calibrated service-time table supplied
 	// at construction: normalization uses it verbatim and the reservoirs
 	// stay empty, exactly mirroring a batch pass with the same table.
@@ -253,8 +260,8 @@ func (o *Online) serviceTable() ServiceTimes {
 		if len(r.samples) == 0 {
 			continue
 		}
-		sorted := make([]float64, len(r.samples))
-		copy(sorted, r.samples)
+		sorted := append(o.svcSorted[:0], r.samples...)
+		o.svcSorted = sorted[:0]
 		sort.Float64s(sorted)
 		idx := int(float64(len(sorted)) * o.opts.ServicePercentile / 100)
 		if idx >= len(sorted) {
@@ -281,7 +288,15 @@ func (o *Online) serviceTable() ServiceTimes {
 // would turn one bad timestamp into a denial of service. At most
 // WindowIntervals alerts are returned per call.
 func (o *Online) Advance(now simnet.Time) []Alert {
-	var alerts []Alert
+	return o.AdvanceAppend(now, nil)
+}
+
+// AdvanceAppend is Advance appending into alerts, the allocation-free
+// form for callers that own a reusable buffer (pass buf[:0] each call):
+// the sharded stream runtime closes every server's intervals at every
+// watermark barrier through this path without allocating in steady
+// state. Same semantics and bounds as Advance otherwise.
+func (o *Online) AdvanceAppend(now simnet.Time, alerts []Alert) []Alert {
 	iv := o.opts.Interval
 	if now > o.start {
 		target := int64((now - o.start) / iv)
@@ -320,9 +335,11 @@ func (o *Online) Advance(now simnet.Time) []Alert {
 	return alerts
 }
 
-// reestimate refreshes N* from the intervals currently in the ring.
+// reestimate refreshes N* from the intervals currently in the ring. The
+// point set lives in reused scratch, so periodic refreshes do not grow a
+// fresh slice each time.
 func (o *Online) reestimate() {
-	var pts []Point
+	pts := o.ptsScratch[:0]
 	iv := o.opts.Interval
 	for slot, n := range o.ringIdx {
 		if n < 0 || n >= o.closed {
@@ -333,6 +350,7 @@ func (o *Online) reestimate() {
 			TP:   o.units[slot] / iv.Seconds(),
 		})
 	}
+	o.ptsScratch = pts[:0]
 	res, err := EstimateNStar(pts, o.opts.NStar)
 	if err != nil {
 		return // not enough data yet; keep the previous estimate
@@ -388,6 +406,17 @@ type OnlineSnapshot struct {
 //
 // Snapshot returns nil until at least one interval has closed.
 func (o *Online) Snapshot() *OnlineSnapshot {
+	return o.SnapshotInto(nil)
+}
+
+// SnapshotInto is Snapshot reusing dst's interval-series storage (the
+// Load/TP slices) across sealed windows: a caller that snapshots
+// periodically passes its previous snapshot back and the measurement
+// arrays are overwritten in place instead of reallocated. dst may be nil
+// (a fresh snapshot is built, equivalent to Snapshot). The returned value
+// aliases dst's slices when capacities suffice, so callers that publish
+// snapshots to other goroutines must not pass the published value back.
+func (o *Online) SnapshotInto(dst *OnlineSnapshot) *OnlineSnapshot {
 	lo := o.closed - int64(o.window)
 	if lo < 0 {
 		lo = 0
@@ -397,8 +426,16 @@ func (o *Online) Snapshot() *OnlineSnapshot {
 		return nil
 	}
 	iv := o.opts.Interval
-	load := make([]float64, n)
-	tp := make([]float64, n)
+	var load, tp []float64
+	if dst != nil && cap(dst.Load) >= n && cap(dst.TP) >= n {
+		load, tp = dst.Load[:n], dst.TP[:n]
+		for i := range load {
+			load[i], tp[i] = 0, 0
+		}
+	} else {
+		load = make([]float64, n)
+		tp = make([]float64, n)
+	}
 	for i := 0; i < n; i++ {
 		abs := lo + int64(i)
 		slot := int(abs % int64(o.window))
@@ -411,7 +448,10 @@ func (o *Online) Snapshot() *OnlineSnapshot {
 	if err != nil {
 		return nil // unreachable: the series have equal lengths by construction
 	}
-	return &OnlineSnapshot{
+	if dst == nil {
+		dst = &OnlineSnapshot{}
+	}
+	*dst = OnlineSnapshot{
 		Start:              o.start + simnet.Time(lo)*iv,
 		Interval:           iv,
 		Load:               load,
@@ -422,4 +462,5 @@ func (o *Online) Snapshot() *OnlineSnapshot {
 		CongestedIntervals: cls.CongestedIntervals,
 		CongestedFraction:  cls.CongestedFraction,
 	}
+	return dst
 }

@@ -1,0 +1,9 @@
+//go:build race
+
+package stream
+
+// raceEnabled reports whether the race detector is compiled in. The
+// allocation-budget tests skip under -race: the detector's shadow-memory
+// instrumentation allocates on code paths that are allocation-free in a
+// normal build, so AllocsPerRun would measure the detector, not the code.
+const raceEnabled = true

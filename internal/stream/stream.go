@@ -44,7 +44,6 @@ package stream
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -83,6 +82,24 @@ type Config struct {
 	// request residence plus any cross-feed reordering skew, or late
 	// records lose their contribution to sealed intervals. Default 1 s.
 	FlushLag simnet.Duration
+	// BarrierEvery is the automatic watermark cadence in intervals: the
+	// trace clock must earn at least this many closable intervals before
+	// Observe broadcasts a barrier, which then closes all of them at
+	// once. A barrier costs two messages per shard plus a merger epoch,
+	// so per-interval barriers make the barrier fan-out — not the
+	// analyzers — the scaling ceiling at high shard counts. The interval
+	// series (loads, throughputs, interval grid) are identical at any
+	// cadence for a feed whose disorder stays within FlushLag, and
+	// live-alert latency grows by at most BarrierEvery−1 intervals on
+	// top of FlushLag. Cadence is part of the configuration, though:
+	// with self-estimated service times, a re-estimation samples the
+	// reservoir as of the barrier that closed its trigger interval, so
+	// changing the cadence can shift live classifications near N* —
+	// compare runs (goldens, equivalence harnesses) at a fixed cadence.
+	// Final Snapshot reclassification is cadence-independent. Explicit
+	// Advance and Close are not coalesced. Default 8 (400 ms at 50 ms
+	// intervals).
+	BarrierEvery int
 
 	// CheckpointDir, when non-empty, enables durable checkpoints: the
 	// runtime periodically writes a consistent cut of every analyzer's
@@ -137,6 +154,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.FlushLag <= 0 {
 		c.FlushLag = simnet.Second
+	}
+	if c.BarrierEvery <= 0 {
+		c.BarrierEvery = 8
 	}
 	if c.Online.Options.Interval <= 0 {
 		c.Online.Options.Interval = 50 * simnet.Millisecond
@@ -271,7 +291,7 @@ type Snapshot struct {
 // checkpoint request so the cut lands exactly on the barrier), a
 // snapshot request, or a standalone checkpoint request.
 type shardMsg struct {
-	batch []trace.Visit
+	batch *recordBatch
 	epoch int64
 	now   simnet.Time
 	snap  chan<- []ServerSnapshot
@@ -285,10 +305,12 @@ type shardCkptReply struct {
 	err     error
 }
 
-// mergeMsg carries one shard's alerts for one watermark epoch.
+// mergeMsg carries one shard's alerts for one watermark epoch. The alert
+// buffer is pool-owned: the merger returns it via putAlerts after folding
+// it into the epoch accumulator (nil for an abandoned, alert-less epoch).
 type mergeMsg struct {
 	epoch  int64
-	alerts []Alert
+	alerts *[]Alert
 }
 
 // retainedBatch is a record batch kept after processing so a shard
@@ -297,7 +319,7 @@ type mergeMsg struct {
 // reproducing the original interval grid exactly.
 type retainedBatch struct {
 	mark simnet.Time
-	recs []trace.Visit
+	recs *recordBatch
 }
 
 type shard struct {
@@ -314,6 +336,10 @@ type shard struct {
 	mark    simnet.Time
 	acked   int64 // newest epoch acknowledged to the merger
 	reSum   int64 // last reported Σ Reestimates, for delta accounting
+	// coreBuf is the reused per-barrier scratch each analyzer's
+	// AdvanceAppend writes into — no per-epoch slice growth in steady
+	// state (shard goroutine only).
+	coreBuf []core.Alert
 
 	// Supervision state (shard goroutine only). lastCkpt holds every
 	// server's marshaled state as of the last checkpoint cut; retained
@@ -338,7 +364,7 @@ type Runtime struct {
 	retainCap int
 
 	// Producer-goroutine state.
-	pending      [][]trace.Visit
+	pending      []*recordBatch
 	maxDepart    simnet.Time
 	mark         simnet.Time
 	epoch        int64
@@ -422,6 +448,25 @@ type ResumeInfo struct {
 // newest valid checkpoint in Config.CheckpointDir is restored first;
 // ResumeInfo reports what was loaded and the replay cursor.
 func New(cfg Config) (*Runtime, error) {
+	r, err := newRuntime(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Goroutines start only after any restore, so shard state needs no
+	// locking in newRuntime.
+	for _, s := range r.shards {
+		r.workers.Add(1)
+		go r.runShard(s)
+	}
+	go r.runMerger()
+	return r, nil
+}
+
+// newRuntime builds (and, with Config.Resume, restores) a runtime
+// without starting its goroutines. The white-box allocation-budget tests
+// drive shard message handling synchronously through a runtime in this
+// state; everything else uses New.
+func newRuntime(cfg Config) (*Runtime, error) {
 	cfg.applyDefaults()
 	if cfg.Online.WindowIntervals != 0 && cfg.Online.WindowIntervals < 20 {
 		return nil, errors.New("stream: online window must cover at least 20 intervals")
@@ -442,7 +487,7 @@ func New(cfg Config) (*Runtime, error) {
 		cfg:       cfg,
 		shards:    make([]*shard, cfg.Shards),
 		retainCap: 4 * cfg.QueueDepth,
-		pending:   make([][]trace.Visit, cfg.Shards),
+		pending:   make([]*recordBatch, cfg.Shards),
 		alerts:    make(chan Alert, 1024),
 		merge:     make(chan mergeMsg, cfg.Shards),
 		done:      make(chan struct{}),
@@ -464,13 +509,6 @@ func New(cfg Config) (*Runtime, error) {
 		warns = append(warns, r.restore(st)...)
 	}
 	r.resume.Warnings = warns
-	// Goroutines start only after any restore, so shard state needs no
-	// locking here.
-	for _, s := range r.shards {
-		r.workers.Add(1)
-		go r.runShard(s)
-	}
-	go r.runMerger()
 	return r, nil
 }
 
@@ -536,11 +574,18 @@ func (r *Runtime) restore(st *checkpointState) []string {
 // ResumeInfo reports what New restored (zero value for a cold start).
 func (r *Runtime) ResumeInfo() ResumeInfo { return r.resume }
 
-// shardOf hashes a server name onto a shard index (FNV-1a).
+// shardOf hashes a server name onto a shard index. Open-coded FNV-1a
+// (same constants and result as hash/fnv) — this runs once per record,
+// and the hash.Hash32 form costs two interface calls plus a []byte
+// conversion per visit.
 func (r *Runtime) shardOf(server string) int {
-	h := fnv.New32a()
-	h.Write([]byte(server))
-	return int(h.Sum32() % uint32(len(r.shards)))
+	const offset32, prime32 = 2166136261, 16777619
+	h := uint32(offset32)
+	for i := 0; i < len(server); i++ {
+		h ^= uint32(server[i])
+		h *= prime32
+	}
+	return int(h % uint32(len(r.shards)))
 }
 
 // ErrClosed is returned by producer-API calls after Close or Abort.
@@ -572,18 +617,20 @@ func (r *Runtime) Observe(v trace.Visit) error {
 	}
 	r.observed.Add(1)
 	si := r.shardOf(v.Server)
-	if r.pending[si] == nil {
-		r.pending[si] = make([]trace.Visit, 0, batchSize)
+	b := r.pending[si]
+	if b == nil {
+		b = getBatch()
+		r.pending[si] = b
 	}
-	r.pending[si] = append(r.pending[si], v)
-	if len(r.pending[si]) == batchSize {
+	b.push(&v)
+	if b.len() == batchSize {
 		r.flush(si)
 	}
 	if v.Depart > r.maxDepart {
 		r.maxDepart = v.Depart
 		r.maxDepartA.Store(int64(v.Depart))
 		iv := r.cfg.Online.Options.Interval
-		if w := ((r.maxDepart - r.cfg.FlushLag) / iv) * iv; w >= r.mark+iv {
+		if w := ((r.maxDepart - r.cfg.FlushLag) / iv) * iv; w >= r.mark+simnet.Time(r.cfg.BarrierEvery)*iv {
 			r.advance(w)
 		}
 	}
@@ -591,11 +638,14 @@ func (r *Runtime) Observe(v trace.Visit) error {
 }
 
 // flush enqueues shard si's pending batch under the backpressure policy.
+// The record count is captured before the send: once the batch is on the
+// channel the shard owns it (and may recycle it to the pool).
 func (r *Runtime) flush(si int) {
 	batch := r.pending[si]
-	if len(batch) == 0 {
+	if batch == nil || batch.len() == 0 {
 		return
 	}
+	n := int64(batch.len())
 	r.pending[si] = nil
 	s := r.shards[si]
 	msg := shardMsg{batch: batch}
@@ -603,14 +653,15 @@ func (r *Runtime) flush(si int) {
 		select {
 		case s.in <- msg:
 		default:
-			r.dropped.Add(int64(len(batch)))
+			r.dropped.Add(n)
+			putBatch(batch)
 			return
 		}
 	} else {
 		s.in <- msg
 	}
-	s.queued.Add(int64(len(batch)))
-	r.ingested.Add(int64(len(batch)))
+	s.queued.Add(n)
+	r.ingested.Add(n)
 }
 
 // Advance manually moves the watermark to now (floored to the interval
@@ -635,19 +686,51 @@ func (r *Runtime) Advance(now simnet.Time) {
 // When the checkpoint cadence has elapsed, the barrier doubles as a
 // checkpoint cut: the same message carries the checkpoint request, so
 // the serialized state is exactly the post-barrier state at w.
+//
+// Every pending batch — full or partial — is delivered ahead of the
+// barrier, unconditionally: it rides the barrier message itself, and the
+// shard applies and retains it before processing the epoch. This keeps
+// the delivery schedule a pure function of the feed and the barrier
+// cadence — every record reaches its analyzer before the first barrier
+// after it was observed, so nothing else (checkpoint cadence, snapshot
+// timing, queue luck) can shift which records the self-estimation
+// reservoirs have seen when a re-estimation fires. A conditional flush
+// here — e.g. holding back a batch whose records only touch intervals
+// past w — changes classifications the moment anything else forces an
+// early flush, which is exactly how a checkpointed run came to diverge
+// from its own fault-free golden. Piggybacking instead of a separate
+// send halves the barrier's per-shard message fan-out, the cost that
+// made per-interval barriers the multi-shard scaling ceiling.
+//
+// Under DropOnFull the batch is instead flushed as its own droppable
+// send ahead of the bare barrier: barrier sends always block, so a
+// piggybacked batch could never be shed, and load-shedding on a wedged
+// shard is the whole point of that policy (whose delivery timing is
+// queue-dependent by design — the determinism argument above only holds
+// for the lossless policy).
 func (r *Runtime) advance(w simnet.Time) {
-	for si := range r.shards {
-		r.flush(si)
-	}
+	ckpt := r.cfg.CheckpointEvery > 0 && w >= r.lastCkptMark+r.cfg.CheckpointEvery
 	r.epoch++
 	r.mark = w
 	r.markA.Store(int64(w))
 	var reply chan shardCkptReply
-	if r.cfg.CheckpointEvery > 0 && w >= r.lastCkptMark+r.cfg.CheckpointEvery {
+	if ckpt {
 		reply = make(chan shardCkptReply, len(r.shards))
 	}
-	for _, s := range r.shards {
-		s.in <- shardMsg{epoch: r.epoch, now: w, ckpt: reply}
+	for si, s := range r.shards {
+		msg := shardMsg{epoch: r.epoch, now: w, ckpt: reply}
+		if b := r.pending[si]; b != nil && b.len() > 0 {
+			if r.cfg.DropOnFull {
+				r.flush(si)
+			} else {
+				r.pending[si] = nil
+				msg.batch = b
+				n := int64(b.len())
+				s.queued.Add(n)
+				r.ingested.Add(n)
+			}
+		}
+		s.in <- msg
 	}
 	if reply != nil {
 		r.collectCheckpoint(reply) // best-effort: failure keeps the previous file
@@ -863,26 +946,54 @@ func (r *Runtime) runMerger() {
 		got    int
 	}
 	acc := make(map[int64]*epochAcc)
+	// Completed accumulators are recycled through a freelist (and shard
+	// alert buffers returned to their pool), so the steady-state merge
+	// loop reuses the same storage epoch after epoch.
+	var free []*epochAcc
+	var sorter alertSorter
 	for msg := range r.merge {
 		e := acc[msg.epoch]
 		if e == nil {
-			e = &epochAcc{}
+			if n := len(free); n > 0 {
+				e, free = free[n-1], free[:n-1]
+			} else {
+				e = &epochAcc{}
+			}
 			acc[msg.epoch] = e
 		}
-		e.alerts = append(e.alerts, msg.alerts...)
+		if msg.alerts != nil {
+			e.alerts = append(e.alerts, *msg.alerts...)
+			putAlerts(msg.alerts)
+		}
 		e.got++
 		if e.got < len(r.shards) {
 			continue
 		}
 		delete(acc, msg.epoch)
-		sort.Slice(e.alerts, func(i, j int) bool {
-			if e.alerts[i].At != e.alerts[j].At {
-				return e.alerts[i].At < e.alerts[j].At
-			}
-			return e.alerts[i].Server < e.alerts[j].Server
-		})
+		sorter.alerts = e.alerts
+		sort.Sort(&sorter)
+		sorter.alerts = nil
 		for _, a := range e.alerts {
 			r.alerts <- a
 		}
+		e.alerts, e.got = e.alerts[:0], 0
+		free = append(free, e)
 	}
 }
+
+// alertSorter orders alerts by (At, Server). A typed sort.Interface
+// instead of sort.Slice: the latter allocates a closure and a reflected
+// swapper per call, which the merger would pay once per epoch; one
+// sorter value is reused for the runtime's lifetime. (At, Server) is a
+// unique key — each server emits at most one alert per interval — so
+// the unstable sort is still deterministic.
+type alertSorter struct{ alerts []Alert }
+
+func (s *alertSorter) Len() int { return len(s.alerts) }
+func (s *alertSorter) Less(i, j int) bool {
+	if s.alerts[i].At != s.alerts[j].At {
+		return s.alerts[i].At < s.alerts[j].At
+	}
+	return s.alerts[i].Server < s.alerts[j].Server
+}
+func (s *alertSorter) Swap(i, j int) { s.alerts[i], s.alerts[j] = s.alerts[j], s.alerts[i] }

@@ -32,28 +32,41 @@ import (
 
 // runShard is a shard goroutine: the single writer for every core.Online
 // that hashes to it, with each message delivered under the supervisor.
+// On shutdown the retained replay batches go back to the pool — nothing
+// can rebuild from them once the goroutine exits, and the next runtime in
+// this process (sequential benchmark iterations, CLI batch mode) starts
+// with a warm pool instead of reallocating its batch working set.
 func (r *Runtime) runShard(s *shard) {
 	defer r.workers.Done()
 	for msg := range s.in {
 		r.deliver(s, msg)
 	}
+	for _, rb := range s.retained {
+		putBatch(rb.recs)
+	}
+	s.retained = nil
+	s.retainedRecs = 0
 }
 
 // deliver processes one message, recovering from panics: quarantine,
 // rebuild, replay, retry once, then abandon the message with accounting.
+// The message is threaded by pointer through attempt/handle/abandon so a
+// stage that completes can consume its part (handle clears batch once it
+// is applied and retained): a retry after a later-stage panic then skips
+// the consumed stage instead of double-applying it.
 func (r *Runtime) deliver(s *shard, msg shardMsg) {
 	// Liveness heartbeat: one atomic store per message (so per ~batchSize
 	// records) — no locks and no allocations on the ingest hot path.
 	defer func() { s.beat.Store(time.Now().UnixNano()) }()
 	if msg.batch != nil {
-		defer s.queued.Add(-int64(len(msg.batch)))
+		defer s.queued.Add(-int64(msg.batch.len()))
 	}
 	if s.degraded {
-		r.abandon(s, msg)
+		r.abandon(s, &msg)
 		return
 	}
 	for attempt := 0; ; attempt++ {
-		p := r.attempt(s, msg)
+		p := r.attempt(s, &msg)
 		if p == nil {
 			return
 		}
@@ -65,7 +78,7 @@ func (r *Runtime) deliver(s *shard, msg shardMsg) {
 		}
 		r.rebuild(s)
 		if attempt >= 1 || s.degraded {
-			r.abandon(s, msg)
+			r.abandon(s, &msg)
 			return
 		}
 	}
@@ -73,21 +86,27 @@ func (r *Runtime) deliver(s *shard, msg shardMsg) {
 
 // attempt runs handle under a recover, returning the panic value (nil on
 // success).
-func (r *Runtime) attempt(s *shard, msg shardMsg) (p any) {
+func (r *Runtime) attempt(s *shard, msg *shardMsg) (p any) {
 	defer func() { p = recover() }()
 	r.handle(s, msg)
 	return nil
 }
 
-// handle is the un-supervised message dispatch. Watermark barriers may
-// carry a checkpoint request; state is serialized after the barrier so
-// the cut is exactly the post-advance state at the watermark.
-func (r *Runtime) handle(s *shard, msg shardMsg) {
-	switch {
-	case msg.batch != nil:
+// handle is the un-supervised message dispatch. Watermark barriers carry
+// the shard's pending partial batch (applied and retained before the
+// barrier — exactly the order separate sends would deliver them in) and
+// may carry a checkpoint request; state is serialized after the barrier
+// so the cut is exactly the post-advance state at the watermark. The
+// batch field is cleared once the batch is retained: a retry after a
+// panic in a later stage replays it from retention, not from the message.
+func (r *Runtime) handle(s *shard, msg *shardMsg) {
+	if msg.batch != nil {
 		r.handleBatch(s, msg.batch)
+		msg.batch = nil
+	}
+	switch {
 	case msg.epoch > 0:
-		r.handleEpoch(s, msg)
+		r.handleEpoch(s, *msg)
 		if msg.ckpt != nil {
 			r.handleCkpt(s, msg.ckpt)
 		}
@@ -98,13 +117,23 @@ func (r *Runtime) handle(s *shard, msg shardMsg) {
 	}
 }
 
-func (r *Runtime) handleBatch(s *shard, batch []trace.Visit) {
-	hook := r.cfg.Hooks.Observe
-	for i := range batch {
-		if hook != nil {
-			hook(s.idx, &batch[i])
+// handleBatch applies one record batch. The hook-free loop keeps every
+// reassembled Visit on the stack (observeShard takes it by value — taking
+// its address would heap-allocate one Visit per record); the hook loop
+// pays that escape only when fault injection is wired in.
+func (r *Runtime) handleBatch(s *shard, batch *recordBatch) {
+	if hook := r.cfg.Hooks.Observe; hook != nil {
+		for i, n := 0, batch.len(); i < n; i++ {
+			v := batch.visit(i)
+			hook(s.idx, &v)
+			// Retention must replay the record the analyzer actually saw.
+			batch.set(i, &v)
+			r.observeShard(s, v)
 		}
-		r.observeShard(s, &batch[i])
+	} else {
+		for i, n := 0, batch.len(); i < n; i++ {
+			r.observeShard(s, batch.visit(i))
+		}
 	}
 	// Retain only after the whole batch applied: a retry after a
 	// mid-batch panic re-applies the batch from the rebuilt (pre-batch)
@@ -121,12 +150,17 @@ func (r *Runtime) handleEpoch(s *shard, msg shardMsg) {
 	}
 	// Accumulate locally and publish only after every analyzer advanced:
 	// a panic mid-barrier must not leave half-counted metrics behind,
-	// or the retry would double-count.
-	var alerts []Alert
+	// or the retry would double-count. The closure scratch (coreBuf) and
+	// the outgoing alert buffer are both reused, so a barrier allocates
+	// nothing in steady state; a panic mid-barrier leaks the buffer to
+	// the GC, which is the safe direction.
+	buf := getAlerts()
+	alerts := (*buf)[:0]
 	var congested, pois int64
 	for _, name := range s.names {
 		o := s.servers[name]
-		for _, a := range o.Advance(msg.now) {
+		s.coreBuf = o.AdvanceAppend(msg.now, s.coreBuf[:0])
+		for _, a := range s.coreBuf {
 			alerts = append(alerts, Alert{
 				Server: name,
 				At:     a.IntervalStart,
@@ -143,6 +177,7 @@ func (r *Runtime) handleEpoch(s *shard, msg shardMsg) {
 			}
 		}
 	}
+	*buf = alerts
 	var re int64
 	for _, o := range s.servers {
 		re += o.Reestimates()
@@ -153,7 +188,7 @@ func (r *Runtime) handleEpoch(s *shard, msg shardMsg) {
 	r.reestimates.Add(re - s.reSum)
 	s.reSum = re
 	s.mark = msg.now
-	r.merge <- mergeMsg{epoch: msg.epoch, alerts: alerts}
+	r.merge <- mergeMsg{epoch: msg.epoch, alerts: buf}
 	s.acked = msg.epoch
 }
 
@@ -182,7 +217,10 @@ func (r *Runtime) handleCkpt(s *shard, reply chan<- shardCkptReply) {
 	}
 	s.lastCkpt = blobs
 	s.ckptMark = s.mark
-	s.retained = nil
+	for _, rb := range s.retained {
+		putBatch(rb.recs)
+	}
+	s.retained = s.retained[:0]
 	s.retainedRecs = 0
 	s.gapRecs = 0
 	reply <- shardCkptReply{servers: blobs}
@@ -192,7 +230,10 @@ func (r *Runtime) handleCkpt(s *shard, reply chan<- shardCkptReply) {
 // on first sight with an interval grid anchored at the current watermark
 // (grid-aligned), so a server that appears mid-stream does not flood the
 // merger with idle closures back to time zero.
-func (r *Runtime) observeShard(s *shard, v *trace.Visit) {
+// The visit is passed by value so the caller's reassembled record stays
+// on the stack (TestIngestAllocBudget pins this path to zero allocations
+// per record in steady state).
+func (r *Runtime) observeShard(s *shard, v trace.Visit) {
 	o := s.servers[v.Server]
 	if o == nil {
 		var err error
@@ -211,19 +252,22 @@ func (r *Runtime) observeShard(s *shard, v *trace.Visit) {
 	if v.Depart < s.mark {
 		r.late.Add(1)
 	}
-	o.Observe(*v)
+	o.Observe(v)
 }
 
 // retain appends a processed batch to the shard's replay buffer,
-// evicting the oldest batches past the cap. Evicted records become
-// unrecoverable until the next checkpoint cut; the count is remembered
-// so a rebuild that needed them reports the loss.
-func (s *shard) retain(batch []trace.Visit, cap int) {
+// evicting the oldest batches past the cap (evicted batches recycle to
+// the pool). Evicted records become unrecoverable until the next
+// checkpoint cut; the count is remembered so a rebuild that needed them
+// reports the loss.
+func (s *shard) retain(batch *recordBatch, cap int) {
 	s.retained = append(s.retained, retainedBatch{mark: s.mark, recs: batch})
-	s.retainedRecs += len(batch)
+	s.retainedRecs += batch.len()
 	for s.retainedRecs > cap && len(s.retained) > 1 {
-		s.gapRecs += int64(len(s.retained[0].recs))
-		s.retainedRecs -= len(s.retained[0].recs)
+		old := s.retained[0].recs
+		s.gapRecs += int64(old.len())
+		s.retainedRecs -= old.len()
+		putBatch(old)
 		s.retained[0].recs = nil
 		s.retained = s.retained[1:]
 	}
@@ -258,7 +302,7 @@ func (r *Runtime) rebuild(s *shard) {
 	sort.Strings(s.names)
 	for _, rb := range s.retained {
 		if !r.replayBatch(s, rb) {
-			r.recordsLost.Add(int64(len(rb.recs)))
+			r.recordsLost.Add(int64(rb.recs.len()))
 		}
 	}
 	for _, name := range s.names {
@@ -281,8 +325,8 @@ func (r *Runtime) replayBatch(s *shard, rb retainedBatch) (ok bool) {
 			ok = false
 		}
 	}()
-	for i := range rb.recs {
-		v := &rb.recs[i]
+	for i, n := 0, rb.recs.len(); i < n; i++ {
+		v := rb.recs.visit(i)
 		o := s.servers[v.Server]
 		if o == nil {
 			var err error
@@ -296,7 +340,7 @@ func (r *Runtime) replayBatch(s *shard, rb retainedBatch) (ok bool) {
 			s.names = append(s.names, v.Server)
 			sort.Strings(s.names)
 		}
-		o.Observe(*v)
+		o.Observe(v)
 	}
 	return true
 }
@@ -307,10 +351,13 @@ func (r *Runtime) replayBatch(s *shard, rb retainedBatch) (ok bool) {
 // after a guarded advance keeps the analyzers on the grid; snapshot and
 // checkpoint requests get empty/error replies so the producer never
 // deadlocks on a broken shard.
-func (r *Runtime) abandon(s *shard, msg shardMsg) {
+func (r *Runtime) abandon(s *shard, msg *shardMsg) {
+	if msg.batch != nil {
+		r.recordsLost.Add(int64(msg.batch.len()))
+		putBatch(msg.batch)
+		msg.batch = nil
+	}
 	switch {
-	case msg.batch != nil:
-		r.recordsLost.Add(int64(len(msg.batch)))
 	case msg.epoch > 0:
 		if msg.epoch > s.acked {
 			if !s.degraded {

@@ -137,8 +137,8 @@ func TestFrameSizeBound(t *testing.T) {
 // rejected without allocating the claimed capacity.
 func TestForgedBatchCount(t *testing.T) {
 	body := []byte{TypeBatch}
-	body = binary.AppendUvarint(body, 1)          // seq
-	body = binary.AppendUvarint(body, 1<<40)      // absurd count
+	body = binary.AppendUvarint(body, 1)           // seq
+	body = binary.AppendUvarint(body, 1<<40)       // absurd count
 	body = append(body, 0, 0, 0, 0, 0, 0, 0, 0, 0) // one tiny visit's worth
 	var buf bytes.Buffer
 	var hdr [4]byte

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"runtime"
 	"sort"
 	"testing"
 	"time"
@@ -265,32 +266,42 @@ func rankName(rs []*ServerAnalysis, i int) string {
 }
 
 // TestStreamBatchEquivalence is the headline harness: for every workload,
-// shard count and interleaving, the runtime's final report must equal the
-// batch report bit-for-bit.
+// shard count, GOMAXPROCS setting and interleaving, the runtime's final
+// report must equal the batch report bit-for-bit. The GOMAXPROCS
+// dimension matters because the shard goroutines really interleave
+// differently at 1 and 4 procs — true parallelism must not change a
+// single bit of the result (the race detector covers memory safety in
+// CI's race-enabled run of this same harness; this covers determinism).
 func TestStreamBatchEquivalence(t *testing.T) {
+	entryProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(entryProcs)
 	for _, wl := range streamWorkloads {
 		t.Run(wl.name, func(t *testing.T) {
 			recs := wl.gen(42)
 			want := batchReference(t, recs)
-			for _, shards := range []int{1, 4, 8} {
-				for _, order := range []struct {
-					name    string
-					shuffle int64 // 0 = feed order (generator order)
-				}{
-					{"feed-order", 0},
-					{"shuffled-a", 1},
-					{"shuffled-b", 99},
-				} {
-					t.Run(fmt.Sprintf("shards=%d/%s", shards, order.name), func(t *testing.T) {
-						feed := recs
-						if order.shuffle != 0 {
-							feed = append([]Record(nil), recs...)
-							rand.New(rand.NewSource(order.shuffle)).Shuffle(len(feed), func(i, j int) {
-								feed[i], feed[j] = feed[j], feed[i]
-							})
-						}
-						compareReports(t, want, streamReport(t, feed, shards))
-					})
+			for _, procs := range []int{1, 4} {
+				for _, shards := range []int{1, 4, 8} {
+					for _, order := range []struct {
+						name    string
+						shuffle int64 // 0 = feed order (generator order)
+					}{
+						{"feed-order", 0},
+						{"shuffled-a", 1},
+						{"shuffled-b", 99},
+					} {
+						t.Run(fmt.Sprintf("procs=%d/shards=%d/%s", procs, shards, order.name), func(t *testing.T) {
+							feed := recs
+							if order.shuffle != 0 {
+								feed = append([]Record(nil), recs...)
+								rand.New(rand.NewSource(order.shuffle)).Shuffle(len(feed), func(i, j int) {
+									feed[i], feed[j] = feed[j], feed[i]
+								})
+							}
+							runtime.GOMAXPROCS(procs)
+							defer runtime.GOMAXPROCS(entryProcs)
+							compareReports(t, want, streamReport(t, feed, shards))
+						})
+					}
 				}
 			}
 		})
