@@ -10,6 +10,8 @@
 //	netchaos -listen 127.0.0.1:7601 -upstream 127.0.0.1:7600 -drop 13 -kill 31
 //
 // Signals: SIGUSR1 partitions (silence, no close), SIGUSR2 heals,
+// SIGHUP toggles a head outage (connections torn down and new ones
+// refused with a prompt close — a dead head, not a cut cable),
 // SIGINT/SIGTERM exit. Stats print on exit.
 package main
 
@@ -48,7 +50,8 @@ func main() {
 		p.Addr(), *upstream, *drop, *dup, *delay, *kill)
 
 	sig := make(chan os.Signal, 2)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGUSR1, syscall.SIGUSR2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGUSR1, syscall.SIGUSR2, syscall.SIGHUP)
+	down := false
 	for s := range sig {
 		switch s {
 		case syscall.SIGUSR1:
@@ -57,6 +60,14 @@ func main() {
 		case syscall.SIGUSR2:
 			p.Heal()
 			fmt.Fprintln(os.Stderr, "netchaos: healed (held bytes resuming)")
+		case syscall.SIGHUP:
+			if down = !down; down {
+				p.Down()
+				fmt.Fprintln(os.Stderr, "netchaos: down (connections torn, new dials refused)")
+			} else {
+				p.Up()
+				fmt.Fprintln(os.Stderr, "netchaos: up (agents reconnect on their next backoff)")
+			}
 		default:
 			p.Close()
 			// Give stragglers a beat so the counters are settled.

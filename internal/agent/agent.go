@@ -79,12 +79,36 @@ type Config struct {
 	// Lenient skips undecodable source lines (counted in
 	// Metrics.Source) instead of failing the run.
 	Lenient bool
-	// Dial opens the transport. Injectable for tests and fault proxies.
-	// Default net.Dial("tcp", addr).
+	// WALDir, when set, enables the write-ahead log: every cut batch is
+	// appended there before entering the send ring, a head outage
+	// longer than the window spills to disk instead of stalling the
+	// source read, and a restarted agent replays the log so `kill -9`
+	// is byte-equivalent to an uninterrupted run. The directory must be
+	// stable across restarts, one per node.
+	WALDir string
+	// WALSegmentBytes is the log's segment rotation threshold (default
+	// 4 MiB); WALNoSync skips the per-append fsync (tests).
+	WALSegmentBytes int
+	WALNoSync       bool
+	// AuthKey, when set, is the shared key for the mutual HMAC
+	// handshake (wire protocol version 2). The head must hold the same
+	// key; a mismatch — either direction — is a terminal error, and an
+	// authenticating agent refuses a head that skips the challenge.
+	AuthKey []byte
+	// Dial opens the transport. Injectable for tests, fault proxies and
+	// TLS (the CLI wraps tls.Dial here). Default net.Dial("tcp", addr).
 	Dial func(addr string) (net.Conn, error)
 	// Rand is the jitter source, injectable for determinism. Default
 	// math/rand.Float64.
 	Rand func() float64
+	// Sleep waits out reconnect backoff, injectable so tests can pin
+	// the backoff schedule with a fake clock. Default: a timer that
+	// also honors context cancellation.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// OnSourceDrained, when set, is called once when the source reader
+	// is exhausted — including between sessions, where spill mode keeps
+	// consuming it. Tests use it to know the WAL holds the full feed.
+	OnSourceDrained func()
 	// Logf, when set, receives reconnect/backoff diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -106,6 +130,16 @@ type Metrics struct {
 	// ResumeSkipped counts records never sent because the head had
 	// already acknowledged their batch (restart fast-forward).
 	ResumeSkipped int64
+	// WALAppended counts batches made durable in the write-ahead log;
+	// WALRecovered counts batches found in the log at startup (restart
+	// replay); WALCovered counts re-read source records dropped because
+	// the recovered log already held their batch; WALSpillPeak is the
+	// most batches ever waiting on disk beyond the in-memory window
+	// (>0 means spill mode happened). All zero without Config.WALDir.
+	WALAppended  int64
+	WALRecovered int64
+	WALCovered   int64
+	WALSpillPeak int64
 	// Source is the decode accounting of the JSONL reader.
 	Source traceio.Stats
 }
@@ -130,6 +164,7 @@ type run struct {
 	m   Metrics
 
 	pending     []batchRec // unacked ring, ordered by seq
+	wal         *walState  // nil without Config.WALDir
 	nextSeq     uint64
 	ackedSeq    uint64
 	ackedDepart simnet.Time // newest departure among acked batches
@@ -172,6 +207,9 @@ func Run(ctx context.Context, src io.Reader, cfg Config) (Metrics, error) {
 	if cfg.Rand == nil {
 		cfg.Rand = rand.Float64
 	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = sleepTimer
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
@@ -180,6 +218,28 @@ func Run(ctx context.Context, src io.Reader, cfg Config) (Metrics, error) {
 		nextSeq: 1,
 		srcCh:   make(chan []trace.Visit, 1),
 		readRes: make(chan readResult, 1),
+	}
+	if cfg.WALDir != "" {
+		ws, rec, err := openWAL(cfg)
+		if err != nil {
+			return Metrics{}, err
+		}
+		a.wal = ws
+		defer ws.close()
+		if rec.Records > 0 {
+			// Restart replay: everything below the log's first record was
+			// acknowledged before it was truncated; everything in the log
+			// is durable and queued, so the source re-read only refills
+			// positions the log does not cover.
+			a.ackedSeq = rec.FirstSeq - 1
+			ws.covered = rec.LastSeq
+			a.m.WALRecovered = int64(rec.Records)
+			cfg.Logf("agent %s: wal: recovered %d unacknowledged batches [%d, %d] in %d segment(s)",
+				cfg.Node, rec.Records, rec.FirstSeq, rec.LastSeq, rec.Segments)
+		}
+		if rec.TornBytes > 0 {
+			cfg.Logf("agent %s: wal: discarded %d torn bytes past the last whole record", cfg.Node, rec.TornBytes)
+		}
 	}
 	go a.readSource(ctx, src)
 	err := a.loop(ctx)
@@ -218,7 +278,11 @@ func (a *run) loop(ctx context.Context) error {
 			return err
 		}
 		if session > 0 || fails > 0 {
-			if err := a.sleep(ctx, a.jitter(backoff)); err != nil {
+			if err := a.sleepDrain(ctx, a.jitter(backoff)); err != nil {
+				var term *terminalError
+				if errors.As(err, &term) {
+					return term.err
+				}
 				return err
 			}
 			if backoff *= 2; backoff > a.cfg.BackoffMax {
@@ -273,9 +337,19 @@ func (a *run) loop(ctx context.Context) error {
 }
 
 // delivered reports whether every source record is durably applied at
-// the head: the source is exhausted and no batch awaits an ack. Once
-// true, the only frame left to send is the EOF notice (Goodbye).
-func (a *run) delivered() bool { return a.srcDone && len(a.pending) == 0 }
+// the head: the source is exhausted and no batch awaits an ack — in
+// the ring or spilled on disk. Once true, the only frame left to send
+// is the EOF notice (Goodbye).
+func (a *run) delivered() bool {
+	return a.srcDone && len(a.pending) == 0 && !a.hasBacklog()
+}
+
+// hasBacklog reports batches durable on disk but not yet in the ring:
+// spill mode's leftover, drained by refill as acknowledgments free
+// window slots.
+func (a *run) hasBacklog() bool {
+	return a.wal != nil && a.wal.next <= a.wal.log.LastSeq()
+}
 
 // terminalError marks failures no reconnect can fix (source read
 // failure, handshake rejection).
@@ -283,7 +357,8 @@ type terminalError struct{ err error }
 
 func (e *terminalError) Error() string { return e.err.Error() }
 
-func (a *run) sleep(ctx context.Context, d time.Duration) error {
+// sleepTimer is the default Config.Sleep.
+func sleepTimer(ctx context.Context, d time.Duration) error {
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
@@ -294,10 +369,50 @@ func (a *run) sleep(ctx context.Context, d time.Duration) error {
 	}
 }
 
+// sleepDrain waits out a backoff like Config.Sleep, but with a WAL
+// configured it keeps cutting source batches to disk while
+// disconnected — spill mode is what keeps ingest running through a
+// head outage. Without a WAL the ring is the only buffer, so the
+// source is left alone until a session restores acknowledgment flow.
+func (a *run) sleepDrain(ctx context.Context, d time.Duration) error {
+	if a.wal == nil || a.srcDone {
+		return a.cfg.Sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	for {
+		src := a.srcCh
+		if a.srcDone {
+			src = nil
+		}
+		select {
+		case <-t.C:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		case visits, ok := <-src:
+			if !ok {
+				if err := a.sourceExhausted(); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := a.intake(visits); err != nil {
+				return err
+			}
+		}
+	}
+}
+
 // jitter spreads d over [0.5d, 1.5d) so agents reconnecting after the
-// same head failure do not stampede it in lockstep.
+// same head failure do not stampede it in lockstep, clamped at
+// BackoffMax so jitter can never grow the configured ceiling.
 func (a *run) jitter(d time.Duration) time.Duration {
-	return time.Duration(float64(d) * (0.5 + a.cfg.Rand()))
+	j := time.Duration(float64(d) * (0.5 + a.cfg.Rand()))
+	if j > a.cfg.BackoffMax {
+		j = a.cfg.BackoffMax
+	}
+	return j
 }
 
 // connect dials and handshakes once. terminal=true means the error is
@@ -309,15 +424,30 @@ func (a *run) connect(ctx context.Context) (net.Conn, wire.Welcome, bool, error)
 	}
 	conn.SetDeadline(time.Now().Add(a.cfg.IOTimeout))
 	// FirstSeq: the lowest batch this agent can still transmit — the
-	// ring's head, or the next sequence to be produced when nothing is
-	// pending. It lets the head reject (rather than silently skip past) a
-	// first batch that lost its predecessors in transit.
+	// ring's head, the on-disk backlog's head after a restart replay, or
+	// the next sequence to be produced when nothing is pending. It lets
+	// the head reject (rather than silently skip past) a first batch
+	// that lost its predecessors in transit.
 	first := a.nextSeq
+	if a.wal != nil && a.wal.covered+1 > first {
+		first = a.wal.covered + 1
+	}
+	if a.ackedSeq+1 > first {
+		first = a.ackedSeq + 1
+	}
+	if a.hasBacklog() && a.wal.next < first {
+		first = a.wal.next
+	}
 	if len(a.pending) > 0 {
 		first = a.pending[0].seq
 	}
+	nonce, err := wire.NewNonce()
+	if err != nil {
+		conn.Close()
+		return nil, wire.Welcome{}, true, fmt.Errorf("agent: handshake nonce: %w", err)
+	}
 	w := wire.NewWriter(conn)
-	err = w.WriteHello(wire.Hello{Version: wire.Version, Node: a.cfg.Node, FirstSeq: first})
+	err = w.WriteHello(wire.Hello{Version: wire.Version, Node: a.cfg.Node, FirstSeq: first, Nonce: nonce})
 	if err == nil {
 		err = w.Flush()
 	}
@@ -325,16 +455,50 @@ func (a *run) connect(ctx context.Context) (net.Conn, wire.Welcome, bool, error)
 		conn.Close()
 		return nil, wire.Welcome{}, false, err
 	}
-	f, err := wire.NewReader(conn).Read()
+	r := wire.NewReader(conn)
+	f, err := r.Read()
 	if err != nil {
 		conn.Close()
 		return nil, wire.Welcome{}, false, fmt.Errorf("agent: handshake read: %w", err)
+	}
+	authed := false
+	if f.Type == wire.TypeChallenge {
+		if len(a.cfg.AuthKey) == 0 {
+			conn.Close()
+			return nil, wire.Welcome{}, true, errors.New("agent: merge head requires authentication and this agent has no shared key (set -authkey)")
+		}
+		// Answer first, then verify the head's proof: the head can count
+		// a bad key either way, and our verdict on its proof does not
+		// depend on the order (both proofs bind both nonces).
+		err = w.WriteAuth(wire.Auth{MAC: wire.AgentProof(a.cfg.AuthKey, a.cfg.Node, nonce, f.Challenge.Nonce)})
+		if err == nil {
+			err = w.Flush()
+		}
+		if err != nil {
+			conn.Close()
+			return nil, wire.Welcome{}, false, err
+		}
+		if !wire.ProofEqual(f.Challenge.Proof, wire.HeadProof(a.cfg.AuthKey, nonce, f.Challenge.Nonce)) {
+			conn.Close()
+			return nil, wire.Welcome{}, true, errors.New("agent: merge head failed mutual authentication (shared key mismatch)")
+		}
+		authed = true
+		if f, err = r.Read(); err != nil {
+			conn.Close()
+			return nil, wire.Welcome{}, false, fmt.Errorf("agent: handshake read: %w", err)
+		}
 	}
 	switch f.Type {
 	case wire.TypeError:
 		conn.Close()
 		return nil, wire.Welcome{}, true, fmt.Errorf("agent: rejected by merge head: %s", f.Error.Msg)
 	case wire.TypeWelcome:
+		if len(a.cfg.AuthKey) > 0 && !authed {
+			// Downgrade refusal: a keyless (or impostor) head welcoming us
+			// without a challenge never proved it holds the key.
+			conn.Close()
+			return nil, wire.Welcome{}, true, errors.New("agent: merge head did not authenticate (no shared key on the head?); refusing unauthenticated session")
+		}
 		if f.Welcome.Version != wire.Version {
 			conn.Close()
 			return nil, wire.Welcome{}, true, fmt.Errorf("agent: merge head speaks protocol version %d, this build speaks %d", f.Welcome.Version, wire.Version)
@@ -357,6 +521,12 @@ func (a *run) fastForward(lastAcked uint64) {
 	if lastAcked > a.ackedSeq {
 		a.ackedSeq = lastAcked
 		a.popAcked(lastAcked)
+		if a.wal != nil {
+			if lastAcked+1 > a.wal.next {
+				a.wal.skipTo(lastAcked + 1)
+			}
+			a.truncateWAL()
+		}
 	} else if lastAcked < a.ackedSeq {
 		a.cfg.Logf("agent %s: merge head resume cursor %d behind ours %d (head restarted cold; acknowledged batches between are lost)",
 			a.cfg.Node, lastAcked, a.ackedSeq)
@@ -376,6 +546,126 @@ func (a *run) popAcked(s uint64) {
 	}
 	if cut > 0 {
 		a.pending = a.pending[:copy(a.pending, a.pending[cut:])]
+	}
+}
+
+// sourceExhausted finalizes the source reader's accounting. Called once
+// when srcCh closes — from the session loop, or from sleepDrain when
+// spill mode keeps consuming the source between sessions.
+func (a *run) sourceExhausted() error {
+	res := <-a.readRes
+	a.m.Source = res.stats
+	a.srcDone = true
+	a.finalSeq = a.nextSeq - 1
+	if a.cfg.OnSourceDrained != nil {
+		a.cfg.OnSourceDrained()
+	}
+	if res.err != nil {
+		return &terminalError{fmt.Errorf("agent: source read: %w", res.err)}
+	}
+	return nil
+}
+
+// intake admits one cut source batch: assign its positional sequence,
+// drop it if a recovered log or the head's resume cursor already covers
+// it, make it durable, and either hand it to the ring (returned non-nil,
+// for the caller to transmit) or leave it spilled on disk when the
+// window is full or older spill is still queued — delivery is FIFO, a
+// fresh batch may not jump the backlog.
+func (a *run) intake(visits []trace.Visit) (*batchRec, error) {
+	seq := a.nextSeq
+	a.nextSeq++
+	a.m.RecordsRead += int64(len(visits))
+	if a.wal != nil && seq <= a.wal.covered {
+		// Restart replay: the recovered log already holds this batch
+		// byte-for-byte (sequences are positional), so the re-read copy
+		// is redundant.
+		a.m.WALCovered += int64(len(visits))
+		return nil, nil
+	}
+	if seq <= a.ackedSeq {
+		// The head already applied this batch in a previous incarnation
+		// of this agent.
+		a.m.ResumeSkipped += int64(len(visits))
+		return nil, nil
+	}
+	spill := a.wal != nil && (a.hasBacklog() || len(a.pending) >= a.cfg.Window)
+	if a.wal != nil {
+		if err := a.wal.append(seq, visits); err != nil {
+			return nil, &terminalError{fmt.Errorf("agent: %w", err)}
+		}
+		a.m.WALAppended++
+	}
+	if spill {
+		if backlog := int64(a.wal.log.LastSeq() - a.wal.next + 1); backlog > a.m.WALSpillPeak {
+			a.m.WALSpillPeak = backlog
+		}
+		return nil, nil
+	}
+	if a.wal != nil {
+		a.wal.advanceOver(seq)
+	}
+	var md simnet.Time
+	for i := range visits {
+		if visits[i].Depart > md {
+			md = visits[i].Depart
+		}
+	}
+	a.pending = append(a.pending, batchRec{seq: seq, visits: visits, maxDepart: md})
+	return &a.pending[len(a.pending)-1], nil
+}
+
+// refill drains the on-disk backlog into freed window slots and (when a
+// session is live) transmits the reloaded batches in order. Called at
+// session start, after the ring retransmit, and after every
+// acknowledgment.
+func (a *run) refill(w *wire.Writer, flush func() error) error {
+	if a.wal == nil {
+		return nil
+	}
+	wrote := false
+	for len(a.pending) < a.cfg.Window && a.hasBacklog() {
+		seq, visits, err := a.wal.readNext()
+		if err != nil {
+			return &terminalError{fmt.Errorf("agent: %w", err)}
+		}
+		if seq <= a.ackedSeq {
+			// Acknowledged while it sat on disk (reconnect fast-forward).
+			continue
+		}
+		var md simnet.Time
+		for i := range visits {
+			if visits[i].Depart > md {
+				md = visits[i].Depart
+			}
+		}
+		rec := batchRec{seq: seq, visits: visits, maxDepart: md}
+		if w != nil {
+			if err := w.WriteBatch(wire.Batch{Seq: seq, Visits: visits}); err != nil {
+				return err
+			}
+			rec.sent = true
+			a.m.BatchesSent++
+			a.m.RecordsSent += int64(len(visits))
+			wrote = true
+		}
+		a.pending = append(a.pending, rec)
+	}
+	if wrote {
+		return flush()
+	}
+	return nil
+}
+
+// truncateWAL drops log segments wholly at or below the acknowledgment
+// cursor. Failure here loses nothing — the log is merely longer than it
+// needs to be — so it is logged, never fatal.
+func (a *run) truncateWAL() {
+	if a.wal == nil {
+		return
+	}
+	if _, err := a.wal.log.TruncateThrough(a.ackedSeq); err != nil {
+		a.cfg.Logf("agent %s: wal truncate: %v", a.cfg.Node, err)
 	}
 }
 
@@ -439,6 +729,10 @@ func (a *run) session(ctx context.Context, conn net.Conn) (bool, error) {
 			return false, err
 		}
 	}
+	// Spill drain: batches that waited on disk follow the retransmits.
+	if err := a.refill(w, flush); err != nil {
+		return false, err
+	}
 	if err := a.maybeGoodbye(w, flush); err != nil {
 		return false, err
 	}
@@ -446,8 +740,10 @@ func (a *run) session(ctx context.Context, conn net.Conn) (bool, error) {
 	hb := time.NewTicker(a.cfg.HeartbeatEvery)
 	defer hb.Stop()
 	for {
+		// Without a WAL a full window stalls the source read
+		// (backpressure); with one, intake keeps cutting to disk.
 		srcIn := a.srcCh
-		if a.srcDone || len(a.pending) >= a.cfg.Window {
+		if a.srcDone || (a.wal == nil && len(a.pending) >= a.cfg.Window) {
 			srcIn = nil
 		}
 		select {
@@ -456,42 +752,30 @@ func (a *run) session(ctx context.Context, conn net.Conn) (bool, error) {
 
 		case visits, ok := <-srcIn:
 			if !ok {
-				res := <-a.readRes
-				a.m.Source = res.stats
-				a.srcDone = true
-				a.finalSeq = a.nextSeq - 1
-				if res.err != nil {
-					return false, &terminalError{fmt.Errorf("agent: source read: %w", res.err)}
+				if err := a.sourceExhausted(); err != nil {
+					return false, err
 				}
 				if err := a.maybeGoodbye(w, flush); err != nil {
 					return false, err
 				}
 				continue
 			}
-			seq := a.nextSeq
-			a.nextSeq++
-			a.m.RecordsRead += int64(len(visits))
-			if seq <= a.ackedSeq {
-				// Restart fast-forward: the head already applied this batch
-				// in a previous incarnation of this agent.
-				a.m.ResumeSkipped += int64(len(visits))
-				continue
+			rec, err := a.intake(visits)
+			if err != nil {
+				return false, err
 			}
-			var md simnet.Time
-			for i := range visits {
-				if visits[i].Depart > md {
-					md = visits[i].Depart
-				}
+			if rec == nil {
+				continue // covered, already acked, or spilled to disk
 			}
-			a.pending = append(a.pending, batchRec{seq: seq, visits: visits, maxDepart: md, sent: true})
-			if err := w.WriteBatch(wire.Batch{Seq: seq, Visits: visits}); err != nil {
+			if err := w.WriteBatch(wire.Batch{Seq: rec.seq, Visits: rec.visits}); err != nil {
 				return false, err
 			}
 			if err := flush(); err != nil {
 				return false, err
 			}
+			rec.sent = true
 			a.m.BatchesSent++
-			a.m.RecordsSent += int64(len(visits))
+			a.m.RecordsSent += int64(len(rec.visits))
 
 		case in := <-inCh:
 			if in.err != nil {
@@ -502,6 +786,10 @@ func (a *run) session(ctx context.Context, conn net.Conn) (bool, error) {
 				if s := in.f.Ack.Seq; s > a.ackedSeq {
 					a.ackedSeq = s
 					a.popAcked(s)
+					a.truncateWAL()
+					if err := a.refill(w, flush); err != nil {
+						return false, err
+					}
 				}
 				if err := a.maybeGoodbye(w, flush); err != nil {
 					return false, err
@@ -517,7 +805,15 @@ func (a *run) session(ctx context.Context, conn net.Conn) (bool, error) {
 			}
 
 		case <-hb.C:
-			if err := w.WriteHeartbeat(wire.Heartbeat{MaxDepart: a.ackedDepart}); err != nil {
+			h := wire.Heartbeat{MaxDepart: a.ackedDepart}
+			if a.wal != nil {
+				if last := a.wal.log.LastSeq(); last > a.ackedSeq {
+					h.WALDepth = last - a.ackedSeq
+				}
+				h.WALSegments = uint64(a.wal.log.Segments())
+				h.Spilling = a.hasBacklog()
+			}
+			if err := w.WriteHeartbeat(h); err != nil {
 				return false, err
 			}
 			if err := flush(); err != nil {
@@ -532,7 +828,7 @@ func (a *run) session(ctx context.Context, conn net.Conn) (bool, error) {
 // safe to re-send on a later session (the head's EOF is idempotent
 // too).
 func (a *run) maybeGoodbye(w *wire.Writer, flush func() error) error {
-	if !a.srcDone || len(a.pending) > 0 || a.saidGoodbye {
+	if !a.srcDone || len(a.pending) > 0 || a.hasBacklog() || a.saidGoodbye {
 		return nil
 	}
 	if err := w.WriteGoodbye(wire.Goodbye{FinalSeq: a.finalSeq, Reason: "eof"}); err != nil {

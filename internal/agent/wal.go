@@ -1,0 +1,112 @@
+package agent
+
+import (
+	"fmt"
+	"io"
+
+	"transientbd/internal/trace"
+	"transientbd/internal/wal"
+	"transientbd/internal/wire"
+)
+
+// walState wires a wal.Log into the agent's delivery state machine.
+// With a WAL configured the log — not the in-memory ring — is the
+// source of truth for unacknowledged batches: every cut batch is
+// appended before it is offered to the network, the ring becomes a
+// bounded cache of the next Window unacknowledged batches, and
+// anything beyond the window waits on disk (spill mode) instead of
+// stalling the source read. Acknowledgments truncate whole segments;
+// a restart reopens the log and replays it from the head's resume
+// cursor.
+type walState struct {
+	log *wal.Log
+	// next is the sequence the refill cursor will yield next: batches
+	// in [next, log.LastSeq()] are durable on disk but not in the ring
+	// — the spill backlog. Batches below next are in the ring or
+	// acknowledged.
+	next uint64
+	// covered is the highest sequence recovered from a previous run's
+	// log. Source batches at or below it are already durable and
+	// queued, so intake drops the re-read copies — safe because
+	// sequence numbers are positional, making the recovered bytes
+	// identical to the re-cut ones.
+	covered uint64
+	cur     *wal.Cursor
+	enc     []byte // reused batch-body encode scratch
+}
+
+// openWAL opens (or recovers) the agent's log and positions the refill
+// state after whatever survived on disk.
+func openWAL(cfg Config) (*walState, wal.Recovery, error) {
+	log, rec, err := wal.Open(wal.Options{
+		Dir:          cfg.WALDir,
+		SegmentBytes: cfg.WALSegmentBytes,
+		NoSync:       cfg.WALNoSync,
+	})
+	if err != nil {
+		return nil, wal.Recovery{}, fmt.Errorf("agent: %w", err)
+	}
+	ws := &walState{log: log, next: log.LastSeq() + 1}
+	if rec.Records > 0 {
+		ws.next = rec.FirstSeq
+	}
+	return ws, rec, nil
+}
+
+// append makes one cut batch durable.
+func (ws *walState) append(seq uint64, visits []trace.Visit) error {
+	ws.enc = wire.AppendVisits(ws.enc[:0], visits)
+	return ws.log.Append(seq, ws.enc)
+}
+
+// readNext decodes the next backlog batch. The caller checks the
+// backlog is non-empty first, so io.EOF here means the log lied —
+// surfaced as an error.
+func (ws *walState) readNext() (uint64, []trace.Visit, error) {
+	if ws.cur == nil {
+		cur, err := ws.log.ReadCursor(ws.next)
+		if err != nil {
+			return 0, nil, err
+		}
+		ws.cur = cur
+	}
+	seq, body, err := ws.cur.Next()
+	if err == io.EOF {
+		return 0, nil, fmt.Errorf("wal: backlog cursor hit end at %d", ws.next)
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	visits, err := wire.DecodeVisits(body)
+	if err != nil {
+		return 0, nil, err
+	}
+	ws.next = seq + 1
+	return seq, visits, nil
+}
+
+// advanceOver records that seq entered the ring directly (no spill):
+// the refill position moves past it without a disk read.
+func (ws *walState) advanceOver(seq uint64) {
+	ws.next = seq + 1
+	ws.invalidate()
+}
+
+// skipTo repositions the refill cursor (reconnect fast-forward past
+// batches acknowledged while they sat on disk).
+func (ws *walState) skipTo(seq uint64) {
+	ws.next = seq
+	ws.invalidate()
+}
+
+func (ws *walState) invalidate() {
+	if ws.cur != nil {
+		ws.cur.Close()
+		ws.cur = nil
+	}
+}
+
+func (ws *walState) close() {
+	ws.invalidate()
+	ws.log.Close()
+}

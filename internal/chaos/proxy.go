@@ -51,6 +51,9 @@ type Proxy struct {
 	// moving bytes.
 	gate      atomic.Pointer[chan struct{}]
 	partition atomic.Bool
+	// refusing is the outage switch: Down tears connections and refuses
+	// new ones with a prompt close (a dead head), Up restores service.
+	refusing atomic.Bool
 
 	frames  atomic.Int64 // agent→head frames seen
 	dropped atomic.Int64
@@ -103,6 +106,19 @@ func (p *Proxy) Heal() {
 	p.gate.Store(&open)
 	p.partition.Store(false)
 }
+
+// Down simulates a dead upstream: every established connection is torn
+// down and new ones are closed on arrival until Up. Unlike Partition,
+// dialers see prompt errors — the crash outage of a dead merge head,
+// not the silence of a cut cable.
+func (p *Proxy) Down() {
+	p.refusing.Store(true)
+	p.KillAll()
+}
+
+// Up restores service after Down; agents reconnect on their next
+// backoff attempt.
+func (p *Proxy) Up() { p.refusing.Store(false) }
 
 // KillAll tears down every established connection (torn sockets on
 // both sides) without touching the listener: a crash of the network
@@ -188,6 +204,9 @@ func (p *Proxy) untrack(c net.Conn) {
 func (p *Proxy) session(down net.Conn) {
 	defer p.sessions.Done()
 	defer p.untrack(down)
+	if p.refusing.Load() {
+		return // outage: the connection closes before any byte moves
+	}
 	up, err := net.Dial("tcp", p.upstream)
 	if err != nil {
 		return

@@ -1,11 +1,15 @@
 package cli
 
 import (
+	"bytes"
 	"context"
+	"crypto/tls"
+	"crypto/x509"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"os/signal"
 	"runtime"
@@ -55,6 +59,12 @@ func Agent(args []string, stdout, stderr io.Writer) error {
 		backoffmax = fs.Duration("backoffmax", 5*time.Second, "reconnect backoff cap")
 		maxdials   = fs.Int("maxdials", 0, "consecutive failed connection attempts before giving up (0 = retry until signalled)")
 		lenient    = fs.Bool("lenient", false, "skip undecodable source lines (counted) instead of failing the run")
+		wal        = fs.String("wal", "", "write-ahead-log directory: batches are durable on disk before they are sent, a head outage spills there instead of stalling the source, and a restart replays the log (keep it stable per node; empty = memory-only)")
+		authkey    = fs.String("authkey", "", "shared key for the mutual HMAC handshake with the head (prefer -authkeyfile: argv is visible in ps)")
+		akeyfile   = fs.String("authkeyfile", "", "file holding the shared handshake key (surrounding whitespace trimmed); mutually exclusive with -authkey")
+		tlsCA      = fs.String("tls-ca", "", "PEM bundle of CAs that must have signed the head's certificate; setting any -tls-* flag dials over TLS")
+		tlsCert    = fs.String("tls-cert", "", "PEM client certificate to present to the head (requires -tls-key)")
+		tlsKey     = fs.String("tls-key", "", "PEM private key for -tls-cert")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,6 +74,29 @@ func Agent(args []string, stdout, stderr io.Writer) error {
 	}
 	if *head == "" {
 		return errors.New("tbdetect agent: -head is required (the merge head's address)")
+	}
+	key, err := loadAuthKey(*authkey, *akeyfile, "tbdetect agent")
+	if err != nil {
+		return err
+	}
+	tlsCfg, err := clientTLS(*tlsCA, *tlsCert, *tlsKey, "tbdetect agent")
+	if err != nil {
+		return err
+	}
+	// Fail fast on an unusable WAL directory — before dialing, before
+	// reading a byte of the source — so a misconfigured unit file dies
+	// loudly at start instead of after the first head outage.
+	if *wal != "" {
+		if perr := probeWALDir(*wal); perr != nil {
+			return fmt.Errorf("tbdetect agent: -wal %s is not a writable directory: %w", *wal, perr)
+		}
+	}
+	var dial func(addr string) (net.Conn, error)
+	if tlsCfg != nil {
+		dialTimeout := *iotimeout
+		dial = func(addr string) (net.Conn, error) {
+			return tls.DialWithDialer(&net.Dialer{Timeout: dialTimeout}, "tcp", addr, tlsCfg)
+		}
 	}
 	r := io.Reader(os.Stdin)
 	if *in != "-" {
@@ -85,6 +118,9 @@ func Agent(args []string, stdout, stderr io.Writer) error {
 		BackoffMax:     *backoffmax,
 		MaxDials:       *maxdials,
 		Lenient:        *lenient,
+		WALDir:         *wal,
+		AuthKey:        key,
+		Dial:           dial,
 	}})
 }
 
@@ -158,6 +194,8 @@ type mergeOpts struct {
 	ckptEvery     time.Duration
 	httpAddr      string
 	publishEvery  time.Duration
+	authKey       []byte
+	tls           *tls.Config
 
 	// stop, when non-nil, replaces the SIGINT/SIGTERM handler — closing
 	// it drains the head (graceful SIGTERM path).
@@ -189,8 +227,21 @@ func Merge(args []string, stdout, stderr io.Writer) error {
 		checkpoint  = fs.String("checkpoint", "", "directory for durable checkpoints of the merged analyzer state (written atomically; a final cut is written on drain)")
 		ckptevery   = fs.Duration("ckptevery", 10*time.Second, "with -checkpoint: trace time between automatic checkpoints")
 		httpAddr    = fs.String("http", "", "serve /metrics (with per-node families), /healthz, /readyz, /report, /servers/{id}/series and SSE /alerts on this address")
+		authkey     = fs.String("authkey", "", "shared key agents must prove in the mutual HMAC handshake; unauthenticated and wrong-key peers are rejected and counted (prefer -authkeyfile)")
+		akeyfile    = fs.String("authkeyfile", "", "file holding the shared handshake key (surrounding whitespace trimmed); mutually exclusive with -authkey")
+		tlsCert     = fs.String("tls-cert", "", "PEM server certificate; with -tls-key, agents must connect over TLS")
+		tlsKey      = fs.String("tls-key", "", "PEM private key for -tls-cert")
+		tlsCA       = fs.String("tls-ca", "", "PEM bundle of CAs; when set, agents must present a client certificate signed by one of them (mutual TLS)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	key, err := loadAuthKey(*authkey, *akeyfile, "tbdetect merge")
+	if err != nil {
+		return err
+	}
+	tlsCfg, err := serverTLS(*tlsCert, *tlsKey, *tlsCA, "tbdetect merge")
+	if err != nil {
 		return err
 	}
 	var nodes []string
@@ -219,7 +270,113 @@ func Merge(args []string, stdout, stderr io.Writer) error {
 		checkpointDir: *checkpoint,
 		ckptEvery:     *ckptevery,
 		httpAddr:      *httpAddr,
+		authKey:       key,
+		tls:           tlsCfg,
 	})
+}
+
+// loadAuthKey resolves the -authkey/-authkeyfile pair: inline wins only
+// when the file flag is absent (they are mutually exclusive), file
+// contents are whitespace-trimmed, and an empty result is an error —
+// an operator who reached for the flags meant to authenticate.
+func loadAuthKey(inline, file, tool string) ([]byte, error) {
+	switch {
+	case inline != "" && file != "":
+		return nil, fmt.Errorf("%s: -authkey and -authkeyfile are mutually exclusive", tool)
+	case inline != "":
+		return []byte(inline), nil
+	case file != "":
+		b, err := os.ReadFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("%s: -authkeyfile: %w", tool, err)
+		}
+		k := bytes.TrimSpace(b)
+		if len(k) == 0 {
+			return nil, fmt.Errorf("%s: -authkeyfile %s holds no key", tool, file)
+		}
+		return k, nil
+	}
+	return nil, nil
+}
+
+// clientTLS builds the agent-side TLS config; setting any of the flags
+// enables TLS. A client certificate needs both halves.
+func clientTLS(ca, cert, key, tool string) (*tls.Config, error) {
+	if ca == "" && cert == "" && key == "" {
+		return nil, nil
+	}
+	if (cert == "") != (key == "") {
+		return nil, fmt.Errorf("%s: -tls-cert and -tls-key must be set together", tool)
+	}
+	cfg := &tls.Config{MinVersion: tls.VersionTLS12}
+	if ca != "" {
+		pool, err := caPool(ca, tool)
+		if err != nil {
+			return nil, err
+		}
+		cfg.RootCAs = pool
+	}
+	if cert != "" {
+		c, err := tls.LoadX509KeyPair(cert, key)
+		if err != nil {
+			return nil, fmt.Errorf("%s: -tls-cert/-tls-key: %w", tool, err)
+		}
+		cfg.Certificates = []tls.Certificate{c}
+	}
+	return cfg, nil
+}
+
+// serverTLS builds the head-side TLS config. The certificate pair is
+// the gate: -tls-cert without -tls-key (or -tls-ca alone) fails fast
+// at flag time, not at the first handshake. -tls-ca upgrades to mutual
+// TLS: agents must present a certificate one of those CAs signed.
+func serverTLS(cert, key, ca, tool string) (*tls.Config, error) {
+	if cert == "" && key == "" && ca == "" {
+		return nil, nil
+	}
+	if cert == "" || key == "" {
+		return nil, fmt.Errorf("%s: TLS needs both -tls-cert and -tls-key", tool)
+	}
+	c, err := tls.LoadX509KeyPair(cert, key)
+	if err != nil {
+		return nil, fmt.Errorf("%s: -tls-cert/-tls-key: %w", tool, err)
+	}
+	cfg := &tls.Config{Certificates: []tls.Certificate{c}, MinVersion: tls.VersionTLS12}
+	if ca != "" {
+		pool, perr := caPool(ca, tool)
+		if perr != nil {
+			return nil, perr
+		}
+		cfg.ClientCAs = pool
+		cfg.ClientAuth = tls.RequireAndVerifyClientCert
+	}
+	return cfg, nil
+}
+
+func caPool(path, tool string) (*x509.CertPool, error) {
+	pem, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("%s: -tls-ca: %w", tool, err)
+	}
+	pool := x509.NewCertPool()
+	if !pool.AppendCertsFromPEM(pem) {
+		return nil, fmt.Errorf("%s: -tls-ca %s holds no usable certificates", tool, path)
+	}
+	return pool, nil
+}
+
+// probeWALDir creates the WAL directory if needed and proves it is
+// writable by round-tripping a temp file.
+func probeWALDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(dir, ".probe-*")
+	if err != nil {
+		return err
+	}
+	f.Close()
+	return os.Remove(f.Name())
 }
 
 // nodeViews adapts the merge head's per-node accounting to the serving
@@ -241,6 +398,9 @@ func nodeViews(sts []merge.NodeStatus) []serve.NodeView {
 			Invalid:         st.Invalid,
 			Buffered:        st.Buffered,
 			LastFrameWall:   st.LastFrameWall,
+			WALDepth:        st.WALDepth,
+			WALSegments:     st.WALSegments,
+			Spilling:        st.Spilling,
 		}
 	}
 	return views
@@ -274,6 +434,8 @@ func runMerge(stdout, stderr io.Writer, opts mergeOpts) error {
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(stderr, "tbdetect: "+format+"\n", args...)
 		},
+		AuthKey: opts.authKey,
+		TLS:     opts.tls,
 	})
 	if err != nil {
 		return fmt.Errorf("tbdetect merge: %w", err)
@@ -302,9 +464,10 @@ func runMerge(stdout, stderr io.Writer, opts mergeOpts) error {
 	var hsrv *serve.Server
 	if opts.httpAddr != "" {
 		hsrv = serve.New(serve.Config{
-			Metrics: srv.Metrics,
-			Health:  srv.ShardHealth,
-			Nodes:   func() []serve.NodeView { return nodeViews(srv.NodeStatuses()) },
+			Metrics:       srv.Metrics,
+			Health:        srv.ShardHealth,
+			Nodes:         func() []serve.NodeView { return nodeViews(srv.NodeStatuses()) },
+			PeersRejected: srv.AuthRejects,
 		})
 		haddr, herr := hsrv.Start(opts.httpAddr)
 		if herr != nil {

@@ -3,7 +3,17 @@ package cli
 import (
 	"bytes"
 	"context"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/pem"
 	"fmt"
+	"io"
+	"math/big"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
@@ -53,6 +63,237 @@ func TestAgentFlagValidation(t *testing.T) {
 	if err := Agent([]string{"-node", "n1"}, &out, &errb); err == nil || !strings.Contains(err.Error(), "-head is required") {
 		t.Errorf("missing -head: got %v", err)
 	}
+}
+
+// TestFlagFailFast pins the fail-fast contract: misconfiguration dies at
+// flag time with a non-nil error — before a socket is dialed or a byte
+// of source is read. The -head addresses here are unroutable on
+// purpose; if validation leaked past them these cases would hang or
+// fail with a dial error instead of the config message.
+func TestFlagFailFast(t *testing.T) {
+	dir := t.TempDir()
+	notADir := filepath.Join(dir, "occupied")
+	if err := os.WriteFile(notADir, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	emptyKey := filepath.Join(dir, "empty.key")
+	if err := os.WriteFile(emptyKey, []byte(" \n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		run  func(args []string, stdout, stderr io.Writer) error
+		args []string
+		want string
+	}{
+		{"agent wal is a file", Agent,
+			[]string{"-node", "n1", "-head", "203.0.113.1:1", "-wal", notADir}, "-wal"},
+		{"agent wal under a file", Agent,
+			[]string{"-node", "n1", "-head", "203.0.113.1:1", "-wal", filepath.Join(notADir, "sub")}, "not a writable directory"},
+		{"agent both key flags", Agent,
+			[]string{"-node", "n1", "-head", "203.0.113.1:1", "-authkey", "k", "-authkeyfile", emptyKey}, "mutually exclusive"},
+		{"agent empty key file", Agent,
+			[]string{"-node", "n1", "-head", "203.0.113.1:1", "-authkeyfile", emptyKey}, "holds no key"},
+		{"agent cert without key", Agent,
+			[]string{"-node", "n1", "-head", "203.0.113.1:1", "-tls-cert", notADir}, "must be set together"},
+		{"merge cert without key", Merge,
+			[]string{"-listen", "127.0.0.1:0", "-tls-cert", notADir}, "-tls-cert and -tls-key"},
+		{"merge key without cert", Merge,
+			[]string{"-listen", "127.0.0.1:0", "-tls-key", notADir}, "-tls-cert and -tls-key"},
+		{"merge ca alone", Merge,
+			[]string{"-listen", "127.0.0.1:0", "-tls-ca", notADir}, "-tls-cert and -tls-key"},
+		{"merge both key flags", Merge,
+			[]string{"-listen", "127.0.0.1:0", "-authkey", "k", "-authkeyfile", emptyKey}, "mutually exclusive"},
+		{"merge missing key file", Merge,
+			[]string{"-listen", "127.0.0.1:0", "-authkeyfile", filepath.Join(dir, "absent")}, "-authkeyfile"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			done := make(chan error, 1)
+			go func() { done <- tc.run(tc.args, &out, &errb) }()
+			select {
+			case err := <-done:
+				if err == nil || !strings.Contains(err.Error(), tc.want) {
+					t.Errorf("got %v, want error containing %q", err, tc.want)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("validation hung — it reached the network")
+			}
+		})
+	}
+}
+
+// writeTLSCert mints a self-signed certificate for 127.0.0.1 that can
+// serve as both the head's identity and the CA agents trust.
+func writeTLSCert(t *testing.T, dir string) (certPath, keyPath string) {
+	t.Helper()
+	priv, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: "tbdetect-test-head"},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(time.Hour),
+		IPAddresses:           []net.IP{net.ParseIP("127.0.0.1")},
+		IsCA:                  true,
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:           []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		BasicConstraintsValid: true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &priv.PublicKey, priv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyDER, err := x509.MarshalECPrivateKey(priv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	certPath = filepath.Join(dir, "head.crt")
+	keyPath = filepath.Join(dir, "head.key")
+	var certPEM, keyPEM bytes.Buffer
+	if err := pem.Encode(&certPEM, &pem.Block{Type: "CERTIFICATE", Bytes: der}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pem.Encode(&keyPEM, &pem.Block{Type: "EC PRIVATE KEY", Bytes: keyDER}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(certPath, certPEM.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(keyPath, keyPEM.Bytes(), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return certPath, keyPath
+}
+
+// TestAgentMergeTLSAuthEndToEnd runs the full secured CLI surface: the
+// head listens over TLS with a shared handshake key, a wrong-key agent
+// is rejected (and shows up in tbdetect_peers_rejected_total without
+// contributing a node), and a right-key agent with a WAL ships its
+// whole feed to a clean zero-drop finish.
+func TestAgentMergeTLSAuthEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	certPath, keyPath := writeTLSCert(t, dir)
+	keyFile := filepath.Join(dir, "shared.key")
+	if err := os.WriteFile(keyFile, []byte("cli-e2e-shared-key\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	feeds := feedsByNode(t, 3000, map[string]string{"web": "n1", "app": "n1", "db": "n1"})
+	feedPath := filepath.Join(dir, "n1.jsonl")
+	if err := os.WriteFile(feedPath, feeds["n1"], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	authKey, err := loadAuthKey("", keyFile, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tlsCfg, err := serverTLS(certPath, keyPath, "", "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrCh := make(chan string, 1)
+	httpCh := make(chan string, 1)
+	var mout, merr bytes.Buffer
+	mergeDone := make(chan error, 1)
+	go func() {
+		mergeDone <- runMerge(&mout, &merr, mergeOpts{
+			listen:      "127.0.0.1:0",
+			expect:      []string{"n1"},
+			interval:    50 * time.Millisecond,
+			window:      2 * time.Minute,
+			flushLag:    300 * time.Millisecond,
+			shards:      2,
+			hbTimeout:   time.Minute,
+			httpAddr:    "127.0.0.1:0",
+			authKey:     authKey,
+			tls:         tlsCfg,
+			listenReady: func(a string) { addrCh <- a },
+			httpReady:   func(a string) { httpCh <- a },
+		})
+	}()
+	var addr, haddr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("merge head never came up")
+	}
+	select {
+	case haddr = <-httpCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("http layer never came up")
+	}
+
+	// An impostor with the wrong key must fail terminally (no reconnect
+	// loop) and never become a node.
+	var iout, ierr bytes.Buffer
+	impErr := Agent([]string{
+		"-node", "impostor", "-head", addr, "-in", feedPath,
+		"-tls-ca", certPath, "-authkey", "not-the-key",
+		"-iotimeout", "2s",
+	}, &iout, &ierr)
+	if impErr == nil || !strings.Contains(impErr.Error(), "authentication") {
+		t.Fatalf("wrong-key agent: got %v, want authentication failure", impErr)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		body := scrape(t, haddr)
+		if strings.Contains(body, "tbdetect_peers_rejected_total 1") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("peers_rejected never reached 1:\n%s", body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The real agent: TLS via -tls-ca, key via -authkeyfile, WAL on.
+	var aout, aerr bytes.Buffer
+	if err := Agent([]string{
+		"-node", "n1", "-head", addr, "-in", feedPath,
+		"-batch", "128", "-heartbeat", "50ms",
+		"-tls-ca", certPath, "-authkeyfile", keyFile,
+		"-wal", filepath.Join(dir, "wal-n1"),
+	}, &aout, &aerr); err != nil {
+		t.Fatalf("agent n1: %v\nstderr:\n%s", err, aerr.String())
+	}
+	select {
+	case err := <-mergeDone:
+		if err != nil {
+			t.Fatalf("merge: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("merge head never finished after the agent said goodbye")
+	}
+
+	out := mout.String()
+	if !strings.Contains(out, "final snapshot") {
+		t.Errorf("no final snapshot printed:\n%s", out)
+	}
+	if !strings.Contains(out, "node n1") || !strings.Contains(out, "dropped=0") {
+		t.Errorf("n1 must finish with zero drops:\n%s", out)
+	}
+	if strings.Contains(out, "impostor") {
+		t.Errorf("rejected peer leaked into node accounting:\n%s", out)
+	}
+}
+
+func scrape(t *testing.T, haddr string) string {
+	t.Helper()
+	resp, err := http.Get("http://" + haddr + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("scrape read: %v", err)
+	}
+	return string(b)
 }
 
 // TestAgentMergeEndToEnd drives the full CLI surface: a merge head and

@@ -119,6 +119,13 @@ type NodeStatus struct {
 	Delivered, Deduped, Dropped, Invalid, Buffered int64
 	// LastFrameWall is the UnixNano wall time of the node's last frame.
 	LastFrameWall int64
+	// WALDepth and WALSegments mirror the agent's advertised write-ahead
+	// log state (version-2 heartbeats); Spilling means the agent is
+	// buffering batches on disk beyond its send window — a head outage
+	// or backpressure being absorbed. All zero for agents without a WAL.
+	WALDepth    int64
+	WALSegments int64
+	Spilling    bool
 }
 
 type node struct {
@@ -133,6 +140,10 @@ type node struct {
 	degraded  bool
 	eof       bool
 	lastFrame time.Time
+
+	walDepth    int64
+	walSegments int64
+	spilling    bool
 
 	delivered, deduped, dropped, invalid int64
 }
@@ -339,6 +350,20 @@ func (c *Core) Heartbeat(name string, maxDepart simnet.Time) (uint64, error) {
 	}
 	c.publishStatus()
 	return n.lastSeq, nil
+}
+
+// WALStats records a node's advertised durability state (carried on
+// version-2 heartbeats) for export. Unknown nodes are ignored — the
+// transport validates admission via Heartbeat first.
+func (c *Core) WALStats(name string, depth, segments uint64, spilling bool) {
+	n, ok := c.nodes[name]
+	if !ok {
+		return
+	}
+	n.walDepth = int64(depth)
+	n.walSegments = int64(segments)
+	n.spilling = spilling
+	c.publishStatus()
 }
 
 // EOF marks a node's stream complete after finalSeq batches. The node
@@ -595,6 +620,9 @@ func (c *Core) publishStatus() {
 			Invalid:       n.invalid,
 			Buffered:      int64(len(n.buf)),
 			LastFrameWall: n.lastFrame.UnixNano(),
+			WALDepth:      n.walDepth,
+			WALSegments:   n.walSegments,
+			Spilling:      n.spilling,
 		})
 	}
 	c.statusA.Store(&out)

@@ -380,6 +380,46 @@ func TestMergeEquivalence(t *testing.T) {
 			if dropped3 != expect3 {
 				t.Fatalf("3agents/degrade: dropped %d, want exactly %d", dropped3, expect3)
 			}
+
+			// Durability arms (one workload is enough to prove the
+			// machinery; the schedules are workload-independent). All run
+			// authenticated, so the shared-key handshake rides along with
+			// every durability property.
+			if wl.name != "uniform" {
+				return
+			}
+
+			// Head down for the entire feed — far beyond 10× the send
+			// window. The WAL absorbs the whole source on disk; once the
+			// head returns, delivery is byte-identical to fault-free.
+			ao, so, mo := runTCPDurable(t, solo, durableArm{window: 2, outage: true})
+			sameAsGolden("1process/wal-outage", ao, so)
+			if p := mo["solo"].WALSpillPeak; p < 20 {
+				t.Errorf("solo outage: WALSpillPeak = %d, want ≥ 20 (10× the window of 2)", p)
+			}
+			a3o, s3o, m3o := runTCPDurable(t, parts, durableArm{window: 2, outage: true})
+			sameAsGolden("3agents/wal-outage", a3o, s3o)
+			for name, m := range m3o {
+				if m.WALSpillPeak <= 2 {
+					t.Errorf("%s outage: WALSpillPeak = %d, want > window", name, m.WALSpillPeak)
+				}
+			}
+
+			// kill -9 mid-outage + restart: agents die with the feed on
+			// disk; their replacements replay the log and the merged
+			// stream is still identical to the fault-free golden.
+			ak, sk, mk := runTCPDurable(t, parts, durableArm{window: 2, killRestart: true})
+			sameAsGolden("3agents/kill9-restart", ak, sk)
+			for name, m := range mk {
+				if m.WALRecovered == 0 {
+					t.Errorf("%s restart: WALRecovered = 0 (restart did not replay the log)", name)
+				}
+			}
+
+			// Impostor peer: a wrong-key agent alongside the real ones is
+			// rejected, counted, and leaves no trace in the result.
+			ai, si, _ := runTCPDurable(t, parts, durableArm{window: 8, impostor: true})
+			sameAsGolden("3agents/impostor", ai, si)
 		})
 	}
 }

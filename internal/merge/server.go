@@ -1,6 +1,7 @@
 package merge
 
 import (
+	"crypto/tls"
 	"errors"
 	"fmt"
 	"net"
@@ -20,6 +21,14 @@ type ServerConfig struct {
 	// detection). Default 1 s, or HeartbeatTimeout/4 if that is
 	// smaller.
 	TickEvery time.Duration
+	// AuthKey, when set, requires every agent to pass the mutual HMAC
+	// challenge/response before admission. Agents with no key or the
+	// wrong key are rejected with a readable Error frame and counted in
+	// AuthRejects; they never contribute a record.
+	AuthKey []byte
+	// TLS, when set, wraps the listener so every session runs over TLS
+	// (the CLI builds this from -tls-cert/-tls-key/-tls-ca).
+	TLS *tls.Config
 	// Logf, when set, receives session lifecycle diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -57,6 +66,7 @@ type Server struct {
 	loops    sync.WaitGroup
 
 	activeConns atomic.Int64
+	authRejects atomic.Int64
 }
 
 // NewServer builds a merge head server (and its runtime). Start must
@@ -92,6 +102,9 @@ func (s *Server) Start(addr string) (string, error) {
 	if err != nil {
 		s.core.Abort()
 		return "", err
+	}
+	if s.cfg.TLS != nil {
+		lis = tls.NewListener(lis, s.cfg.TLS)
 	}
 	s.lis = lis
 	s.loops.Add(2)
@@ -210,6 +223,13 @@ func (s *Server) session(conn net.Conn) {
 		return
 	}
 	if f.Hello.Version != wire.Version {
+		if len(s.cfg.AuthKey) > 0 && f.Hello.Version < 2 {
+			// The old protocol has no authentication at all; tell the peer
+			// why it can never be admitted rather than just "wrong version".
+			s.authRejects.Add(1)
+			s.reject(conn, w, fmt.Sprintf("unauthenticated peer: protocol version %d predates authenticated sessions (head speaks %d and requires a shared key)", f.Hello.Version, wire.Version))
+			return
+		}
 		s.reject(conn, w, fmt.Sprintf("protocol version %d not supported (head speaks %d)", f.Hello.Version, wire.Version))
 		return
 	}
@@ -218,6 +238,11 @@ func (s *Server) session(conn net.Conn) {
 		return
 	}
 	node := f.Hello.Node
+	if len(s.cfg.AuthKey) > 0 {
+		if !s.challenge(conn, r, w, f.Hello) {
+			return
+		}
+	}
 
 	var lastAcked uint64
 	var refused bool
@@ -269,7 +294,13 @@ func (s *Server) session(conn net.Conn) {
 		case wire.TypeHeartbeat:
 			var ack uint64
 			var aerr error
-			if !s.do(func() { ack, aerr = s.core.Heartbeat(node, f.Heartbeat.MaxDepart) }) {
+			hb := f.Heartbeat
+			if !s.do(func() {
+				ack, aerr = s.core.Heartbeat(node, hb.MaxDepart)
+				if aerr == nil {
+					s.core.WALStats(node, hb.WALDepth, hb.WALSegments, hb.Spilling)
+				}
+			}) {
 				return
 			}
 			if aerr != nil {
@@ -308,6 +339,44 @@ func (s *Server) session(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// challenge runs the head's half of the mutual HMAC exchange: send
+// Challenge (with our own proof over both nonces), demand a valid
+// AgentProof back. Every way an agent can fail — wrong key, no Auth
+// frame, a vanished connection — counts as an auth rejection; only a
+// verified proof admits the node.
+func (s *Server) challenge(conn net.Conn, r *wire.Reader, w *wire.Writer, h wire.Hello) bool {
+	nonce, err := wire.NewNonce()
+	if err != nil {
+		s.cfg.Logf("merge: %s: challenge nonce: %v", conn.RemoteAddr(), err)
+		return false
+	}
+	conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+	if err := w.WriteChallenge(wire.Challenge{Nonce: nonce, Proof: wire.HeadProof(s.cfg.AuthKey, h.Nonce, nonce)}); err == nil {
+		err = w.Flush()
+	}
+	if err != nil {
+		s.cfg.Logf("merge: %s: challenge write: %v", conn.RemoteAddr(), err)
+		return false
+	}
+	f, err := r.Read()
+	if err != nil {
+		s.authRejects.Add(1)
+		s.cfg.Logf("merge: %s: rejected: no authentication response from node %q: %v", conn.RemoteAddr(), h.Node, err)
+		return false
+	}
+	if f.Type != wire.TypeAuth {
+		s.authRejects.Add(1)
+		s.reject(conn, w, fmt.Sprintf("expected Auth, got frame type %d", f.Type))
+		return false
+	}
+	if !wire.ProofEqual(f.Auth.MAC, wire.AgentProof(s.cfg.AuthKey, h.Node, h.Nonce, nonce)) {
+		s.authRejects.Add(1)
+		s.reject(conn, w, fmt.Sprintf("authentication failed for node %q (shared key mismatch)", h.Node))
+		return false
+	}
+	return true
 }
 
 func writeAck(conn net.Conn, w *wire.Writer, seq uint64) error {
@@ -413,6 +482,11 @@ func (s *Server) Degrades() int64 { return s.core.Degrades() }
 // ActiveConns reports currently admitted agent sessions. Safe from any
 // goroutine.
 func (s *Server) ActiveConns() int64 { return s.activeConns.Load() }
+
+// AuthRejects reports cumulative sessions refused by the shared-key
+// handshake (wrong key, no key, pre-auth protocol). Safe from any
+// goroutine.
+func (s *Server) AuthRejects() int64 { return s.authRejects.Load() }
 
 // Snapshot returns the current ranked window state, computed on the
 // event goroutine. Returns an error if the server is shutting down.

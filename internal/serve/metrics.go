@@ -161,6 +161,26 @@ var promTable = []promMetric{
 				}
 			}
 		}},
+
+	// Durable-agent families. The WAL gauges mirror each agent's
+	// self-reported heartbeat state (absent for agents without -wal only
+	// in the sense of reading zero; samples render for every node).
+	// peers_rejected is sampled only when Config.PeersRejected is set —
+	// a head running without a shared key emits the headers with no
+	// sample, like the node families in follow mode.
+	{"tbdetect_peers_rejected_total", "counter", "Inbound peers rejected for failing authentication (wrong shared key or pre-auth protocol).",
+		func(s *Server, _ stream.Metrics, w *strings.Builder) {
+			if s.cfg.PeersRejected == nil {
+				return
+			}
+			sample(w, "tbdetect_peers_rejected_total", s.cfg.PeersRejected())
+		}},
+	{"tbdetect_agent_wal_depth", "gauge", "Records appended to this agent's write-ahead log but not yet acknowledged by the head.",
+		nodeGauge("tbdetect_agent_wal_depth", func(n NodeView) int64 { return n.WALDepth })},
+	{"tbdetect_agent_wal_segments", "gauge", "On-disk write-ahead-log segment files held by this agent.",
+		nodeGauge("tbdetect_agent_wal_segments", func(n NodeView) int64 { return n.WALSegments })},
+	{"tbdetect_agent_wal_spilling", "gauge", "Spill bit: 1 while this agent is absorbing backlog on disk beyond its send window.",
+		nodeGauge("tbdetect_agent_wal_spilling", func(n NodeView) int64 { return boolBit(n.Spilling) })},
 }
 
 // nodeViews samples Config.Nodes, nil-safe.

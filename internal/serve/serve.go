@@ -68,6 +68,12 @@ type Config struct {
 	// from any goroutine. Nil (the single-process follow mode) leaves
 	// the node families without samples.
 	Nodes func() []NodeView
+	// PeersRejected, when set, reports how many inbound peers the merge
+	// head has rejected for failing authentication (wrong shared key,
+	// pre-auth protocol version, or a broken challenge exchange). Must
+	// be safe to call from any goroutine. Nil leaves the family without
+	// samples.
+	PeersRejected func() int64
 }
 
 // NodeView is one ingestion node's state as the serving layer exposes
@@ -95,6 +101,15 @@ type NodeView struct {
 	// LastFrameWall is the UnixNano wall time of the node's last frame
 	// (0 before the first).
 	LastFrameWall int64
+	// WALDepth and WALSegments mirror the agent's self-reported
+	// write-ahead-log state from its last heartbeat: records appended
+	// but not yet acknowledged, and on-disk segment files. Spilling is
+	// true while the agent is absorbing backlog on disk beyond its send
+	// window (a head outage in progress, or its tail being drained).
+	// All zero/false for agents running without -wal.
+	WALDepth    int64
+	WALSegments int64
+	Spilling    bool
 }
 
 // published is one snapshot publication: what the producer handed over

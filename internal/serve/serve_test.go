@@ -265,6 +265,10 @@ func TestMetricNameStability(t *testing.T) {
 		"tbdetect_node_records_buffered",
 		"tbdetect_node_watermark_lag_seconds",
 		"tbdetect_node_silence_seconds",
+		"tbdetect_peers_rejected_total",
+		"tbdetect_agent_wal_depth",
+		"tbdetect_agent_wal_segments",
+		"tbdetect_agent_wal_spilling",
 	}
 	got := MetricNames()
 	if len(got) != len(want) {
@@ -409,17 +413,23 @@ func TestNodeMetrics(t *testing.T) {
 		t.Fatalf("node samples rendered without a node source:\n%s", bare)
 	}
 
+	if strings.Contains(bare, "tbdetect_peers_rejected_total 0") {
+		t.Fatalf("peers_rejected sample rendered without a source:\n%s", bare)
+	}
+
 	views := []NodeView{
 		{Node: "n1", WatermarkMicros: 5_000_000, Sessions: 3, Connected: true,
-			Delivered: 1000, Deduped: 40, Buffered: 7, LastFrameWall: fixedNow.Add(-2 * time.Second).UnixNano()},
+			Delivered: 1000, Deduped: 40, Buffered: 7, LastFrameWall: fixedNow.Add(-2 * time.Second).UnixNano(),
+			WALDepth: 120, WALSegments: 3, Spilling: true},
 		{Node: "n2", WatermarkMicros: 2_000_000, Sessions: 1, Degraded: true,
 			Delivered: 400, Dropped: 25, LastFrameWall: fixedNow.Add(-30 * time.Second).UnixNano()},
 	}
 	s := New(Config{
-		Metrics: func() stream.Metrics { return fixtureMetrics() },
-		Health:  func() []stream.ShardHealth { return fixtureHealth() },
-		Now:     func() time.Time { return fixedNow },
-		Nodes:   func() []NodeView { return views },
+		Metrics:       func() stream.Metrics { return fixtureMetrics() },
+		Health:        func() []stream.ShardHealth { return fixtureHealth() },
+		Now:           func() time.Time { return fixedNow },
+		Nodes:         func() []NodeView { return views },
+		PeersRejected: func() int64 { return 4 },
 	})
 	body := get(t, s.Handler(), "/metrics").Body.String()
 	for _, want := range []string{
@@ -439,6 +449,12 @@ func TestNodeMetrics(t *testing.T) {
 		`tbdetect_node_watermark_lag_seconds{node="n2"} 3`,
 		`tbdetect_node_silence_seconds{node="n1"} 2`,
 		`tbdetect_node_silence_seconds{node="n2"} 30`,
+		"tbdetect_peers_rejected_total 4\n",
+		`tbdetect_agent_wal_depth{node="n1"} 120`,
+		`tbdetect_agent_wal_depth{node="n2"} 0`,
+		`tbdetect_agent_wal_segments{node="n1"} 3`,
+		`tbdetect_agent_wal_spilling{node="n1"} 1`,
+		`tbdetect_agent_wal_spilling{node="n2"} 0`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("scrape is missing %q", want)

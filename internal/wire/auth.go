@@ -1,0 +1,67 @@
+package wire
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+)
+
+// Authenticated sessions (protocol version 2) are a mutual shared-key
+// HMAC challenge/response folded into the handshake:
+//
+//	agent → Hello{Node, FirstSeq, Nonce: Na}
+//	head  → Challenge{Nonce: Nh, Proof: HeadProof(key, Na, Nh)}
+//	agent → Auth{MAC: AgentProof(key, node, Na, Nh)}
+//	head  → Welcome (or Error, counted as an auth rejection)
+//
+// Both proofs cover both nonces, so neither direction is replayable,
+// and the domain-separation prefixes keep a head proof from ever
+// verifying as an agent proof (or vice versa) even under a shared key.
+// A head without a key skips straight from Hello to Welcome; an agent
+// with a key treats that downgrade as a terminal error.
+
+// NonceSize is the length of handshake nonces.
+const NonceSize = 16
+
+const (
+	headProofDomain  = "tbdetect-head-v2\x00"
+	agentProofDomain = "tbdetect-agent-v2\x00"
+)
+
+// NewNonce returns a fresh random handshake nonce.
+func NewNonce() ([]byte, error) {
+	b := make([]byte, NonceSize)
+	if _, err := rand.Read(b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// HeadProof is the merge head's handshake MAC: HMAC-SHA256 over the
+// agent's nonce then the head's, domain-separated. Sent in Challenge so
+// the agent can verify it is talking to a holder of the shared key
+// before streaming records.
+func HeadProof(key, agentNonce, headNonce []byte) []byte {
+	mac := hmac.New(sha256.New, key)
+	mac.Write([]byte(headProofDomain))
+	mac.Write(agentNonce)
+	mac.Write(headNonce)
+	return mac.Sum(nil)
+}
+
+// AgentProof is the agent's handshake MAC: HMAC-SHA256 over its node
+// identity and both nonces. Binding the node name in stops a valid
+// proof from being replayed under a different identity within the same
+// nonce exchange.
+func AgentProof(key []byte, node string, agentNonce, headNonce []byte) []byte {
+	mac := hmac.New(sha256.New, key)
+	mac.Write([]byte(agentProofDomain))
+	mac.Write([]byte(node))
+	mac.Write([]byte{0})
+	mac.Write(agentNonce)
+	mac.Write(headNonce)
+	return mac.Sum(nil)
+}
+
+// ProofEqual compares two MACs in constant time.
+func ProofEqual(a, b []byte) bool { return hmac.Equal(a, b) }

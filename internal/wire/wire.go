@@ -62,7 +62,13 @@ import (
 // Version is the protocol version this build speaks. A merge head
 // rejects a Hello with a different major version via an Error frame —
 // explicit, debuggable incompatibility instead of garbled frames.
-const Version = 1
+//
+// Version 2 added authenticated sessions (Hello.Nonce and the
+// Challenge/Auth exchange) and durability telemetry on heartbeats
+// (Heartbeat.WALDepth/WALSegments/Spilling). Version 1 frames remain
+// decodable so an old agent gets a readable "unauthenticated peer"
+// rejection instead of a framing error.
+const Version = 2
 
 // MaxFrameSize bounds the length prefix (type byte + payload). It caps
 // a batch at roughly 16k visits — far above any sane batch size — so a
@@ -80,6 +86,8 @@ const (
 	TypeHeartbeat byte = 5
 	TypeGoodbye   byte = 6
 	TypeError     byte = 7
+	TypeChallenge byte = 8
+	TypeAuth      byte = 9
 )
 
 // ErrFrameTooBig reports a length prefix beyond MaxFrameSize.
@@ -101,6 +109,11 @@ type Hello struct {
 	// cold mid-stream) apart from "an early batch was lost on the wire" —
 	// without it, a dropped first batch would be silently skipped.
 	FirstSeq uint64
+	// Nonce (version ≥ 2) is the agent's fresh random challenge for the
+	// mutual HMAC handshake: the head's Challenge.Proof must cover it,
+	// so a recorded handshake cannot be replayed. Absent in version 1
+	// Hellos.
+	Nonce []byte
 }
 
 // Welcome accepts a Hello. LastAcked is the node's resume cursor: the
@@ -126,9 +139,36 @@ type Ack struct {
 // Heartbeat keeps the barrier honest while a node's feed is quiet:
 // MaxDepart is the newest departure timestamp the agent has written to
 // this connection, so the merge head can advance the node's watermark
-// contribution without new records.
+// contribution without new records. Version 2 heartbeats additionally
+// carry the agent's durability state so the head can export it (the
+// agent has no scrape endpoint of its own).
 type Heartbeat struct {
 	MaxDepart simnet.Time
+	// WALDepth is the number of unacknowledged batches durable in the
+	// agent's write-ahead log (0 when the agent runs without one);
+	// WALSegments its on-disk segment count; Spilling reports batches
+	// waiting on disk beyond the in-memory send window. Version 1
+	// heartbeats omit all three.
+	WALDepth    uint64
+	WALSegments uint64
+	Spilling    bool
+}
+
+// Challenge is the merge head's half of the mutual authentication
+// exchange (version ≥ 2, only when the head has a shared key): Nonce is
+// the head's fresh challenge for the agent's proof, and Proof is the
+// head's own HMAC over both nonces (HeadProof) — the agent verifies it
+// so a rogue listener cannot impersonate the head.
+type Challenge struct {
+	Nonce []byte
+	Proof []byte
+}
+
+// Auth is the agent's answer to a Challenge: MAC is AgentProof over the
+// node identity and both nonces. The head verifies it before admitting
+// the node; a bad MAC is rejected with an Error frame and counted.
+type Auth struct {
+	MAC []byte
 }
 
 // Goodbye ends a node's stream cleanly after FinalSeq batches. Reason
@@ -150,6 +190,15 @@ type ErrorFrame struct {
 func appendString(b []byte, s string) []byte {
 	b = binary.AppendUvarint(b, uint64(len(s)))
 	return append(b, s...)
+}
+
+// maxAuthBlob bounds nonce and MAC fields (a nonce is 16 bytes, an
+// HMAC-SHA256 is 32) so a forged length cannot balloon a handshake.
+const maxAuthBlob = 64
+
+func appendBytes(b, blob []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(blob)))
+	return append(b, blob...)
 }
 
 func appendVisit(b []byte, v *trace.Visit) []byte {
@@ -209,6 +258,21 @@ func (r *payloadReader) string() string {
 	return s
 }
 
+// bytes reads a length-prefixed auth blob (nonce or MAC).
+func (r *payloadReader) bytes() []byte {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > maxAuthBlob || n > uint64(len(r.buf)) {
+		r.err = errors.New("wire: blob overruns payload")
+		return nil
+	}
+	b := append([]byte(nil), r.buf[:n]...)
+	r.buf = r.buf[n:]
+	return b
+}
+
 func (r *payloadReader) visit() trace.Visit {
 	var v trace.Visit
 	v.Server = r.string()
@@ -264,12 +328,16 @@ func (w *Writer) writeFrame() error {
 	return err
 }
 
-// WriteHello frames h.
+// WriteHello frames h. A version-1 Hello is encoded in the version-1
+// shape (no nonce) — how tests exercise the old-peer rejection path.
 func (w *Writer) WriteHello(h Hello) error {
 	w.buf = append(w.buf[:0], TypeHello)
 	w.buf = binary.AppendUvarint(w.buf, uint64(h.Version))
 	w.buf = appendString(w.buf, h.Node)
 	w.buf = binary.AppendUvarint(w.buf, h.FirstSeq)
+	if h.Version >= 2 {
+		w.buf = appendBytes(w.buf, h.Nonce)
+	}
 	return w.writeFrame()
 }
 
@@ -285,11 +353,38 @@ func (w *Writer) WriteWelcome(wl Welcome) error {
 func (w *Writer) WriteBatch(b Batch) error {
 	w.buf = append(w.buf[:0], TypeBatch)
 	w.buf = binary.AppendUvarint(w.buf, b.Seq)
-	w.buf = binary.AppendUvarint(w.buf, uint64(len(b.Visits)))
-	for i := range b.Visits {
-		w.buf = appendVisit(w.buf, &b.Visits[i])
-	}
+	w.buf = AppendVisits(w.buf, b.Visits)
 	return w.writeFrame()
+}
+
+// AppendVisits appends the canonical batch-body encoding of visits
+// (count-prefixed records) to dst — the same bytes WriteBatch puts on
+// the wire after the sequence number. The agent's write-ahead log
+// stores batch bodies in this encoding, so a batch replayed from disk
+// is byte-identical to one cut fresh from the source.
+func AppendVisits(dst []byte, visits []trace.Visit) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(visits)))
+	for i := range visits {
+		dst = appendVisit(dst, &visits[i])
+	}
+	return dst
+}
+
+// DecodeVisits parses a body produced by AppendVisits.
+func DecodeVisits(payload []byte) ([]trace.Visit, error) {
+	p := payloadReader{buf: payload}
+	count := p.uvarint()
+	if p.err == nil && count > uint64(len(p.buf)) {
+		return nil, fmt.Errorf("wire: visit count %d overruns payload", count)
+	}
+	vs := make([]trace.Visit, 0, count)
+	for i := uint64(0); i < count && p.err == nil; i++ {
+		vs = append(vs, p.visit())
+	}
+	if err := p.done(); err != nil {
+		return nil, err
+	}
+	return vs, nil
 }
 
 // WriteAck frames a.
@@ -299,10 +394,34 @@ func (w *Writer) WriteAck(a Ack) error {
 	return w.writeFrame()
 }
 
-// WriteHeartbeat frames h.
+// WriteHeartbeat frames h (always in the version-2 shape; the
+// handshake pins both peers to one version, so a mixed-version session
+// never streams).
 func (w *Writer) WriteHeartbeat(h Heartbeat) error {
 	w.buf = append(w.buf[:0], TypeHeartbeat)
 	w.buf = binary.AppendVarint(w.buf, int64(h.MaxDepart))
+	w.buf = binary.AppendUvarint(w.buf, h.WALDepth)
+	w.buf = binary.AppendUvarint(w.buf, h.WALSegments)
+	spill := uint64(0)
+	if h.Spilling {
+		spill = 1
+	}
+	w.buf = binary.AppendUvarint(w.buf, spill)
+	return w.writeFrame()
+}
+
+// WriteChallenge frames c.
+func (w *Writer) WriteChallenge(c Challenge) error {
+	w.buf = append(w.buf[:0], TypeChallenge)
+	w.buf = appendBytes(w.buf, c.Nonce)
+	w.buf = appendBytes(w.buf, c.Proof)
+	return w.writeFrame()
+}
+
+// WriteAuth frames a.
+func (w *Writer) WriteAuth(a Auth) error {
+	w.buf = append(w.buf[:0], TypeAuth)
+	w.buf = appendBytes(w.buf, a.MAC)
 	return w.writeFrame()
 }
 
@@ -331,6 +450,8 @@ type Frame struct {
 	Heartbeat Heartbeat
 	Goodbye   Goodbye
 	Error     ErrorFrame
+	Challenge Challenge
+	Auth      Auth
 }
 
 // Reader decodes frames from a connection. Not safe for concurrent
@@ -391,6 +512,9 @@ func decodeFrame(body []byte) (Frame, error) {
 			return Frame{}, fmt.Errorf("wire: absurd hello version %d", ver)
 		}
 		f.Hello = Hello{Version: int(ver), Node: p.string(), FirstSeq: p.uvarint()}
+		if ver >= 2 {
+			f.Hello.Nonce = p.bytes()
+		}
 	case TypeWelcome:
 		ver := p.uvarint()
 		if ver > math.MaxInt32 {
@@ -413,6 +537,17 @@ func decodeFrame(body []byte) (Frame, error) {
 		f.Ack = Ack{Seq: p.uvarint()}
 	case TypeHeartbeat:
 		f.Heartbeat = Heartbeat{MaxDepart: simnet.Time(p.varint())}
+		if len(p.buf) > 0 {
+			// Version-2 durability fields; a version-1 heartbeat ends at
+			// MaxDepart and decodes with all three zero.
+			f.Heartbeat.WALDepth = p.uvarint()
+			f.Heartbeat.WALSegments = p.uvarint()
+			f.Heartbeat.Spilling = p.uvarint() != 0
+		}
+	case TypeChallenge:
+		f.Challenge = Challenge{Nonce: p.bytes(), Proof: p.bytes()}
+	case TypeAuth:
+		f.Auth = Auth{MAC: p.bytes()}
 	case TypeGoodbye:
 		f.Goodbye = Goodbye{FinalSeq: p.uvarint(), Reason: p.string()}
 	case TypeError:

@@ -178,3 +178,123 @@ func TestUnknownTypeAndTrailing(t *testing.T) {
 		t.Fatal("trailing bytes decoded cleanly")
 	}
 }
+
+// Version-2 handshake frames round-trip with their auth blobs, and a
+// version-1 Hello (no nonce) still decodes — the old-peer rejection
+// path depends on reading it far enough to name the version.
+func TestV2HandshakeFrames(t *testing.T) {
+	na, err := NewNonce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nh, err := NewNonce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := []byte("sesame")
+	frames := []Frame{
+		{Type: TypeHello, Hello: Hello{Version: 2, Node: "host-a", FirstSeq: 3, Nonce: na}},
+		{Type: TypeChallenge, Challenge: Challenge{Nonce: nh, Proof: HeadProof(key, na, nh)}},
+		{Type: TypeAuth, Auth: Auth{MAC: AgentProof(key, "host-a", na, nh)}},
+		{Type: TypeHeartbeat, Heartbeat: Heartbeat{MaxDepart: 990, WALDepth: 41, WALSegments: 3, Spilling: true}},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, f := range frames {
+		var err error
+		switch f.Type {
+		case TypeHello:
+			err = w.WriteHello(f.Hello)
+		case TypeChallenge:
+			err = w.WriteChallenge(f.Challenge)
+		case TypeAuth:
+			err = w.WriteAuth(f.Auth)
+		case TypeHeartbeat:
+			err = w.WriteHeartbeat(f.Heartbeat)
+		}
+		if err != nil {
+			t.Fatalf("write type %d: %v", f.Type, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	for i, want := range frames {
+		got, err := r.Read()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("frame %d: got %+v, want %+v", i, got, want)
+		}
+	}
+
+	// Version-1 Hello: encoded without a nonce, decoded without one.
+	buf.Reset()
+	w = NewWriter(&buf)
+	if err := w.WriteHello(Hello{Version: 1, Node: "old-agent", FirstSeq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	got, err := NewReader(&buf).Read()
+	if err != nil {
+		t.Fatalf("v1 hello no longer decodes: %v", err)
+	}
+	if got.Hello.Version != 1 || got.Hello.Node != "old-agent" || got.Hello.Nonce != nil {
+		t.Fatalf("v1 hello decoded as %+v", got.Hello)
+	}
+
+	// An oversized auth blob is a forged frame, not an allocation.
+	body := []byte{TypeAuth}
+	body = binary.AppendUvarint(body, maxAuthBlob+1)
+	body = append(body, make([]byte, maxAuthBlob+1)...)
+	if _, err := decodeFrame(body); err == nil {
+		t.Fatal("oversized MAC decoded cleanly")
+	}
+}
+
+// Proofs are key-, nonce-, identity- and direction-sensitive.
+func TestProofProperties(t *testing.T) {
+	na, _ := NewNonce()
+	nh, _ := NewNonce()
+	key := []byte("k1")
+	if !ProofEqual(AgentProof(key, "n", na, nh), AgentProof(key, "n", na, nh)) {
+		t.Fatal("proof not deterministic")
+	}
+	if ProofEqual(AgentProof(key, "n", na, nh), AgentProof([]byte("k2"), "n", na, nh)) {
+		t.Fatal("proof ignores key")
+	}
+	if ProofEqual(AgentProof(key, "n", na, nh), AgentProof(key, "m", na, nh)) {
+		t.Fatal("proof ignores node identity")
+	}
+	if ProofEqual(AgentProof(key, "n", na, nh), AgentProof(key, "n", nh, na)) {
+		t.Fatal("proof ignores nonce order")
+	}
+	if ProofEqual(AgentProof(key, "n", na, nh), HeadProof(key, na, nh)) {
+		t.Fatal("agent and head proofs share a domain")
+	}
+}
+
+// DecodeVisits inverts AppendVisits — the WAL's batch-body codec is the
+// wire's.
+func TestVisitPayloadCodec(t *testing.T) {
+	visits := []trace.Visit{
+		{Server: "web-1", Class: "small", TxnID: 7, HopID: 1, Arrive: 100, Depart: 260, Downstream: 40},
+		{Server: "db-1", Class: "big", TxnID: -3, HopID: 2, Arrive: 150, Depart: 240},
+	}
+	body := AppendVisits(nil, visits)
+	got, err := DecodeVisits(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, visits) {
+		t.Fatalf("codec round trip: %+v", got)
+	}
+	if _, err := DecodeVisits(body[:len(body)-2]); err == nil {
+		t.Fatal("truncated body decoded cleanly")
+	}
+	if _, err := DecodeVisits(append(body, 0)); err == nil {
+		t.Fatal("trailing byte decoded cleanly")
+	}
+}
