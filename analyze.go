@@ -65,6 +65,12 @@ type Config struct {
 	// report is identical at every setting — see PERFORMANCE.md for the
 	// determinism contract.
 	Parallelism int
+	// Downstream maps each server to the servers it calls. It is not
+	// required — detection and ranking never use it — but when present
+	// the root-cause attribution engine discounts congestion that merely
+	// mirrors a congested callee and chases connection-pool clips down
+	// the call chain, exactly as the wire-capture CLI path does.
+	Downstream map[string][]string
 	// Lenient makes Analyze survive degraded inputs instead of failing
 	// on the first anomaly: invalid records (no server, or departure
 	// before arrival) are quarantined rather than fatal, cross-server
@@ -148,6 +154,10 @@ type Report struct {
 	PerServer map[string]*ServerAnalysis
 	// Ranking orders servers by congested fraction, worst first.
 	Ranking []*ServerAnalysis
+	// Causes ranks root-cause verdicts across the whole system, most
+	// likely first. Empty when no server congested enough to
+	// fingerprint.
+	Causes []CauseVerdict
 	// Quality describes drops and repairs when Config.Lenient was set;
 	// nil for strict runs.
 	Quality *TraceQuality
@@ -305,6 +315,7 @@ func Analyze(records []Record, cfg Config) (*Report, error) {
 		return nil, fmt.Errorf("transientbd: no server produced an analysis")
 	}
 	sortRanking(report.Ranking)
+	attachCauses(report, cfg.Downstream)
 	return report, nil
 }
 

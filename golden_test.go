@@ -103,3 +103,54 @@ func TestGoldenReport(t *testing.T) {
 			line, len(got), len(want))
 	}
 }
+
+// The scenario golden: the conn-pool battery scenario run end to end —
+// simulate, analyze, attribute — with the ground-truth labels and the
+// full Report (verdicts included) pinned byte-for-byte. This is the
+// regression net for the attribution engine: any scoring or evidence
+// drift shows up as a reviewable diff in the checked-in verdicts.
+//
+//	go test -run TestGoldenScenarioReport -update .
+func TestGoldenScenarioReport(t *testing.T) {
+	goldenPath := filepath.Join("examples", "golden", "scenario_connpool.json")
+
+	res, report, err := AnalyzeScenario(Scenario{
+		Preset:   "conn-pool",
+		Duration: 30 * time.Second,
+		Ramp:     5 * time.Second,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatalf("run conn-pool scenario: %v", err)
+	}
+	if len(report.Causes) == 0 || report.Causes[0].Kind != "conn-pool-exhaustion" {
+		t.Fatalf("top verdict = %+v, want conn-pool-exhaustion", report.Causes)
+	}
+
+	got, err := json.MarshalIndent(struct {
+		GroundTruth []GroundTruthRecord
+		Report      *Report
+	}{res.GroundTruth, report}, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal scenario report: %v", err)
+	}
+	got = append(got, '\n')
+
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatalf("update scenario golden: %v", err)
+		}
+		t.Logf("scenario golden rewritten: %s (%d bytes)", goldenPath, len(got))
+		return
+	}
+
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read scenario golden (run with -update to create it): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("scenario report diverges from golden (got %d bytes, want %d).\n"+
+			"If the change is intentional, rerun with: go test -run TestGoldenScenarioReport -update .",
+			len(got), len(want))
+	}
+}

@@ -1,0 +1,100 @@
+package cause
+
+// Diagnostic dump for detector tuning: run every battery scenario at
+// quick duration and print each server's feature vector plus the ranked
+// verdicts. Skipped unless CAUSE_DIAG is set; not part of the suite.
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"os"
+
+	"transientbd/internal/core"
+	"transientbd/internal/ntier"
+	"transientbd/internal/simnet"
+	"transientbd/internal/trace"
+)
+
+func TestDiagScenarios(t *testing.T) {
+	if os.Getenv("CAUSE_DIAG") == "" {
+		t.Skip("set CAUSE_DIAG=1 to dump scenario feature vectors")
+	}
+	for _, name := range ntier.ScenarioNames() {
+		cfg, err := ntier.ScenarioPreset(name, 1, 40*simnet.Second, 10*simnet.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := ntier.Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := core.Window{Start: res.WindowStart, End: res.WindowEnd}
+		repaired, _ := trace.RepairSkew(res.Messages)
+		visits, _ := trace.AssembleLenient(repaired, trace.AssembleOptions{
+			InFlightTimeout: 5 * simnet.Second,
+		})
+		sysA, err := core.AnalyzeSystemGrouped(trace.PerServerParallel(visits, 0), w, core.Options{
+			Interval: 50 * simnet.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ss []Series
+		for _, a := range sysA.PerServer {
+			ss = append(ss, FromAnalysis(a))
+		}
+		sort.Slice(ss, func(i, j int) bool { return ss[i].Server < ss[j].Server })
+		fs := make([]features, len(ss))
+		for i := range ss {
+			fs[i] = extract(ss[i])
+		}
+		fmt.Printf("=== %s (truth %s)\n", name, ntier.ScenarioCause(name))
+		for i := range ss {
+			f := fs[i]
+			x := crossFeatures(i, ss, fs)
+			fmt.Printf("  %-10s n=%d cf=%.3f poi=%.2f col=%.2f flat=%.2f/%.3f div=%.1f nstar=%.1f max=%.1f per=%.2f lag=%d cyc=%.1f long=%.2f lateSt=%.2f e/l=%.2f/%.2f ramp=%.2f starve=%.2f(%s) peerCF=%.2f(%s)\n",
+				ss[i].Server, f.n, f.cf, f.poiShare, f.collapse, f.flatShare, f.flatSpread,
+				f.divergence, ss[i].NStar, f.maxLoad, f.periodicity, f.periodLag, f.cycles,
+				f.longestFrac, f.lateStart, f.earlyCong, f.lateCong, f.rampFrac,
+				x.starveShare, x.starveName, x.peerMaxCF, x.peerName)
+		}
+		// Same downstream map shape the experiment harness derives.
+		down := diagDownstream(ss)
+		for _, label := range []string{"with-topology", "no-topology"} {
+			opts := Options{}
+			if label == "with-topology" {
+				opts.Downstream = down
+			}
+			vs := Attribute(ss, opts)
+			fmt.Printf("  verdicts (%s):\n", label)
+			for i, v := range vs {
+				if i >= 6 {
+					break
+				}
+				fmt.Printf("    %-22s %-10s conf=%.2f score=%.3f\n", v.Kind, v.Server, v.Confidence, v.Score)
+			}
+		}
+	}
+}
+
+func diagDownstream(ss []Series) map[string][]string {
+	byTier := map[string][]string{}
+	for _, s := range ss {
+		t := tierOf(s.Server)
+		byTier[t] = append(byTier[t], s.Server)
+	}
+	order := []string{"apache", "tomcat", "cjdbc", "mysql"}
+	m := map[string][]string{}
+	for i := 0; i+1 < len(order); i++ {
+		for _, s := range byTier[order[i]] {
+			m[s] = byTier[order[i+1]]
+		}
+	}
+	return m
+}

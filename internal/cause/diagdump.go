@@ -1,0 +1,36 @@
+package cause
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DiagDump renders each server's feature vector and the ranked verdicts
+// for detector tuning; used only by env-gated diagnostic tests.
+func DiagDump(servers []Series, opts Options) string {
+	ss := make([]Series, len(servers))
+	copy(ss, servers)
+	sort.Slice(ss, func(i, j int) bool { return ss[i].Server < ss[j].Server })
+	fs := make([]features, len(ss))
+	for i := range ss {
+		fs[i] = extract(ss[i])
+	}
+	var b strings.Builder
+	for i := range ss {
+		f := fs[i]
+		x := crossFeatures(i, ss, fs)
+		fmt.Fprintf(&b, "  %-10s n=%d cf=%.3f poi=%.2f col=%.2f flat=%.2f/%.3f div=%.1f nstar=%.1f max=%.1f per=%.2f lag=%d cyc=%.1f long=%.2f lateSt=%.2f e/l=%.2f/%.2f starve=%.2f(%s) peerCF=%.2f(%s)\n",
+			ss[i].Server, f.n, f.cf, f.poiShare, f.collapse, f.flatShare, f.flatSpread,
+			f.divergence, ss[i].NStar, f.maxLoad, f.periodicity, f.periodLag, f.cycles,
+			f.longestFrac, f.lateStart, f.earlyCong, f.lateCong,
+			x.starveShare, x.starveName, x.peerMaxCF, x.peerName)
+	}
+	for i, v := range Attribute(ss, opts) {
+		if i >= 8 {
+			break
+		}
+		fmt.Fprintf(&b, "  > %-22s %-10s conf=%.2f score=%.4f\n", v.Kind, v.Server, v.Confidence, v.Score)
+	}
+	return b.String()
+}

@@ -1,0 +1,642 @@
+package cause
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"transientbd/internal/simnet"
+)
+
+// features is the per-server fingerprint input: every field is a pure,
+// shift-invariant function of one Series.
+type features struct {
+	n      int // series length
+	active int // first index with any activity
+	congN  int
+	cf     float64
+
+	episodes    [][2]int // congested runs, [start, end)
+	longestFrac float64  // longest episode / n
+
+	periodicity float64 // best autocorrelation of the congested indicator
+	periodLag   int
+	cycles      float64
+
+	poiShare   float64 // POIs / congested intervals
+	collapse   float64 // mean congested TP / TPMax
+	flatShare  float64 // congested intervals within 7% of the congested load top
+	flatSpread float64 // relative stddev of the flat band
+	divergence float64 // max load / N*
+	rampFrac   float64 // rising steps inside episodes
+
+	lateStart float64 // active / n
+	earlyCong float64 // congested fraction, first third of the active region
+	lateCong  float64 // congested fraction, final third
+
+	maxLoad float64
+}
+
+func extract(s Series) features {
+	f := features{n: len(s.Load)}
+	if f.n == 0 {
+		return f
+	}
+
+	f.active = f.n
+	for i, v := range s.Load {
+		if v > 0.05 {
+			f.active = i
+			break
+		}
+	}
+
+	var congTP float64
+	inEp := false
+	for i, c := range s.Congested {
+		if s.Load[i] > f.maxLoad {
+			f.maxLoad = s.Load[i]
+		}
+		if c {
+			f.congN++
+			congTP += s.TP[i]
+			if s.POI[i] {
+				f.poiShare++ // counted; normalized below
+			}
+			if !inEp {
+				f.episodes = append(f.episodes, [2]int{i, i + 1})
+				inEp = true
+			} else {
+				f.episodes[len(f.episodes)-1][1] = i + 1
+			}
+		} else {
+			inEp = false
+		}
+	}
+	f.cf = float64(f.congN) / float64(f.n)
+	if f.congN > 0 {
+		f.poiShare /= float64(f.congN)
+		if s.TPMax > 0 {
+			f.collapse = congTP / float64(f.congN) / s.TPMax
+		}
+	}
+	for _, ep := range f.episodes {
+		if frac := float64(ep[1]-ep[0]) / float64(f.n); frac > f.longestFrac {
+			f.longestFrac = frac
+		}
+	}
+
+	// Flat-top: how tightly the congested loads cluster at their top.
+	if f.congN > 0 {
+		top := 0.0
+		for i, c := range s.Congested {
+			if c && s.Load[i] > top {
+				top = s.Load[i]
+			}
+		}
+		if top > 0 {
+			var inBand int
+			var sum, sumSq float64
+			for i, c := range s.Congested {
+				if c && s.Load[i] >= 0.93*top {
+					inBand++
+					sum += s.Load[i]
+					sumSq += s.Load[i] * s.Load[i]
+				}
+			}
+			f.flatShare = float64(inBand) / float64(f.congN)
+			if inBand > 1 {
+				mean := sum / float64(inBand)
+				varr := sumSq/float64(inBand) - mean*mean
+				if varr > 0 {
+					f.flatSpread = math.Sqrt(varr) / top
+				}
+			}
+		}
+	}
+
+	if s.NStar > 0 {
+		f.divergence = f.maxLoad / s.NStar
+	}
+
+	// Ramp: do loads rise step-over-step inside episodes?
+	var steps, rising int
+	for i := 1; i < f.n; i++ {
+		if s.Congested[i] && s.Congested[i-1] {
+			steps++
+			if s.Load[i] > s.Load[i-1] {
+				rising++
+			}
+		}
+	}
+	if steps > 0 {
+		f.rampFrac = float64(rising) / float64(steps)
+	}
+
+	f.lateStart = float64(f.active) / float64(f.n)
+	if span := f.n - f.active; span >= 3 {
+		third := span / 3
+		f.earlyCong = congestedFrac(s.Congested, f.active, f.active+third)
+		f.lateCong = congestedFrac(s.Congested, f.n-third, f.n)
+	}
+
+	f.periodicity, f.periodLag = periodicity(s.Congested)
+	if f.periodLag > 0 {
+		f.cycles = float64(f.n) / float64(f.periodLag)
+	}
+	return f
+}
+
+func congestedFrac(cong []bool, lo, hi int) float64 {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(cong) {
+		hi = len(cong)
+	}
+	if hi <= lo {
+		return 0
+	}
+	n := 0
+	for i := lo; i < hi; i++ {
+		if cong[i] {
+			n++
+		}
+	}
+	return float64(n) / float64(hi-lo)
+}
+
+// periodicity scores how *rhythmic* the congested indicator is. A plain
+// autocorrelation peak is not enough: any episodic signal correlates
+// with itself at lags up to the episode length. Instead we score each
+// candidate period L by the contrast acf(L) − acf(L/2): a true periodic
+// signal is anti-correlated half a period out of phase, while a decaying
+// episodic signal has acf(L/2) ≥ acf(L) and scores ~0.
+func periodicity(cong []bool) (best float64, bestLag int) {
+	n := len(cong)
+	if n < 4*minIntervals {
+		return 0, 0
+	}
+	x := make([]float64, n)
+	var mean float64
+	for i, c := range cong {
+		if c {
+			x[i] = 1
+		}
+		mean += x[i]
+	}
+	mean /= float64(n)
+	if mean < 0.01 || mean > 0.95 {
+		return 0, 0
+	}
+	var denom float64
+	for i := range x {
+		x[i] -= mean
+		denom += x[i] * x[i]
+	}
+	if denom == 0 {
+		return 0, 0
+	}
+	acf := func(lag int) float64 {
+		var num float64
+		for i := 0; i+lag < n; i++ {
+			num += x[i] * x[i+lag]
+		}
+		// Normalize by the full-series energy so shorter overlaps are not
+		// spuriously favoured.
+		return num / denom
+	}
+	maxLag := n / 3
+	for lag := 6; lag <= maxLag; lag++ {
+		if score := acf(lag) - acf(lag/2); score > best {
+			best = score
+			bestLag = lag
+		}
+	}
+	return best, bestLag
+}
+
+// cross holds the cross-server features for one subject.
+type cross struct {
+	// peerMaxCF is the highest congested fraction among same-tier peers;
+	// hasPeers reports whether any exist.
+	peerMaxCF float64
+	peerName  string
+	hasPeers  bool
+	// starveShare is, for the worst-affected other-tier server, the
+	// fraction of the subject's congested intervals during which that
+	// server's load drops below 25% of its own overall mean.
+	starveShare float64
+	starveName  string
+}
+
+// tierOf strips a trailing replica ordinal ("mysql-2" → "mysql").
+func tierOf(name string) string {
+	i := len(name) - 1
+	for i >= 0 && name[i] >= '0' && name[i] <= '9' {
+		i--
+	}
+	if i >= 0 && i < len(name)-1 && name[i] == '-' {
+		return name[:i]
+	}
+	return name
+}
+
+func crossFeatures(subject int, ss []Series, fs []features) cross {
+	var x cross
+	sub := &ss[subject]
+	tier := tierOf(sub.Server)
+	for j := range ss {
+		if j == subject || fs[j].n == 0 {
+			continue
+		}
+		if tierOf(ss[j].Server) == tier {
+			x.hasPeers = true
+			if fs[j].cf >= x.peerMaxCF {
+				x.peerMaxCF = fs[j].cf
+				x.peerName = ss[j].Server
+			}
+			continue
+		}
+		if share, ok := starvation(sub, &ss[j]); ok && share > x.starveShare {
+			x.starveShare = share
+			x.starveName = ss[j].Server
+		}
+	}
+	return x
+}
+
+// starvation measures how often other's load collapses below 25% of its
+// own mean while the subject is congested — the signature of a tier
+// parked behind the subject.
+func starvation(sub, other *Series) (float64, bool) {
+	if sub.Interval <= 0 || sub.Interval != other.Interval {
+		return 0, false
+	}
+	var mean float64
+	n := 0
+	for _, v := range other.Load {
+		mean += v
+		n++
+	}
+	if n == 0 {
+		return 0, false
+	}
+	mean /= float64(n)
+	if mean < 0.2 {
+		return 0, false // too idle to judge
+	}
+	off := int((other.Start - sub.Start) / simnet.Time(sub.Interval))
+	cong, starved := 0, 0
+	for i, c := range sub.Congested {
+		if !c {
+			continue
+		}
+		j := i - off
+		if j < 0 || j >= len(other.Load) {
+			continue
+		}
+		cong++
+		if other.Load[j] < 0.25*mean {
+			starved++
+		}
+	}
+	if cong < 5 {
+		return 0, false
+	}
+	return float64(starved) / float64(cong), true
+}
+
+// overloadStrength is the sustained-overload fingerprint strength: one
+// long episode with load diverging far past N*, not frozen, not pinned
+// at a hard cap, and not healed by the end of the window. It is a pure
+// per-server function so it doubles as a cross-server damp: a tier
+// pulsing in sympathy with an overloaded neighbor is an echo, not a
+// stampede.
+func overloadStrength(f *features) float64 {
+	if f.longestFrac < 0.08 || f.divergence < 2.5 || f.poiShare > 0.3 || f.flatShare >= 0.6 {
+		return 0
+	}
+	if f.earlyCong > 0.2 && f.lateCong < 0.25*f.earlyCong {
+		return 0 // congestion healed — sustained overload does not
+	}
+	return clamp01(f.divergence/5) * clamp01(f.longestFrac/0.2) * (0.5 + 0.5*f.rampFrac)
+}
+
+// attrCtx carries the whole-system view the cross-server fingerprints
+// need: every server's series and features, plus the optional topology.
+type attrCtx struct {
+	ss    []Series
+	fs    []features
+	opts  Options
+	oconf []float64 // overloadStrength per server
+}
+
+// byName returns the index of a server, or -1.
+func (c *attrCtx) byName(name string) int {
+	for j := range c.ss {
+		if c.ss[j].Server == name {
+			return j
+		}
+	}
+	return -1
+}
+
+// clip measures whether target j's load is pinned at a hard ceiling
+// during caller i's congested intervals while j itself never classifies
+// congested — the observable signature of an exhausted pool: the cap
+// prevents the load from ever exceeding the capped server's own N*, so
+// only the queueing caller witnesses the clip.
+func (c *attrCtx) clip(i, j int) (conf, top, spread float64, ok bool) {
+	caller, target := &c.ss[i], &c.ss[j]
+	if c.fs[j].cf > 0.15 || caller.Interval <= 0 || caller.Interval != target.Interval {
+		return 0, 0, 0, false
+	}
+	off := int((target.Start - caller.Start) / simnet.Time(caller.Interval))
+	var loads []float64
+	for k, cong := range caller.Congested {
+		if !cong {
+			continue
+		}
+		if l := k - off; l >= 0 && l < len(target.Load) {
+			loads = append(loads, target.Load[l])
+		}
+	}
+	if len(loads) < 10 {
+		return 0, 0, 0, false
+	}
+	// Ceiling at the 95th percentile, not the max: under capture loss
+	// the measured load dips below the true cap in most intervals (lost
+	// visits vanish from the concurrency count), so the rare fully-
+	// observed interval would otherwise set a band nothing else reaches.
+	sorted := append([]float64(nil), loads...)
+	sort.Float64s(sorted)
+	top = sorted[(len(sorted)-1)*95/100]
+	if top < 1.5 {
+		return 0, 0, 0, false
+	}
+	var inBand int
+	var sum, sumSq float64
+	for _, v := range loads {
+		if v >= 0.90*top {
+			inBand++
+			sum += v
+			sumSq += v * v
+		}
+	}
+	share := float64(inBand) / float64(len(loads))
+	if inBand > 1 {
+		mean := sum / float64(inBand)
+		if varr := sumSq/float64(inBand) - mean*mean; varr > 0 {
+			spread = math.Sqrt(varr) / top
+		}
+	}
+	if share < 0.7 || spread > 0.05 {
+		return 0, 0, 0, false
+	}
+	return share * clamp01(1-spread/0.1), top, spread, true
+}
+
+// clipVerdicts emits pool-exhaustion verdicts for hard-capped servers
+// visible from congested caller i. With topology the clip chain is
+// followed one hop deeper (a clipped cluster tier is itself backpressure
+// from a clipped DB pool below it); the deepest clip is the root and
+// keeps full confidence.
+func (c *attrCtx) clipVerdicts(i int) []Verdict {
+	caller := &c.ss[i]
+	emit := func(j int, conf, top, spread float64) Verdict {
+		return Verdict{
+			Kind:       KindPoolExhaustion,
+			Server:     c.ss[j].Server,
+			Confidence: clamp01(conf),
+			Evidence: []string{
+				fmt.Sprintf("load pinned at %.1f (spread %.1f%%) while %s queues behind it, yet %s never classifies congested — a hard concurrency cap",
+					top, pct(spread), caller.Server, c.ss[j].Server),
+				fmt.Sprintf("caller %s congested in %.1f%% of intervals", caller.Server, pct(c.fs[i].cf)),
+			},
+		}
+	}
+	var out []Verdict
+	if c.opts.Downstream == nil {
+		// No topology: any pinned server in another tier is a candidate.
+		tier := tierOf(caller.Server)
+		for j := range c.ss {
+			if j == i || tierOf(c.ss[j].Server) == tier {
+				continue
+			}
+			if conf, top, spread, ok := c.clip(i, j); ok {
+				out = append(out, emit(j, conf, top, spread))
+			}
+		}
+		return out
+	}
+	for _, d := range c.opts.Downstream[caller.Server] {
+		j := c.byName(d)
+		if j < 0 {
+			continue
+		}
+		conf, top, spread, ok := c.clip(i, j)
+		// Always scan one hop deeper, whether or not the intermediate
+		// hop clips: a degraded capture can push the intermediate's N*
+		// estimate below its (uncapped) load so it classifies congested
+		// and fails the clip gate, while the truly capped pool below it
+		// is still pinned flat — the same caller witnesses it directly.
+		deeper := false
+		for _, e := range c.opts.Downstream[d] {
+			k := c.byName(e)
+			if k < 0 {
+				continue
+			}
+			if dconf, dtop, dspread, dok := c.clip(i, k); dok {
+				out = append(out, emit(k, dconf, dtop, dspread))
+				deeper = true
+			}
+		}
+		if !ok {
+			continue
+		}
+		if deeper {
+			conf *= 0.8 // intermediate clip: backpressure from the root below
+		}
+		out = append(out, emit(j, conf, top, spread))
+	}
+	return out
+}
+
+// convoyEcho reports whether a direct downstream server carries the
+// same periodic-freeze fingerprint as server i: in a closed system a
+// convoy at the root blocks its callers on the same cadence, so the
+// callers' convoy candidates are mirrors and the downstream claim is
+// the one to keep. Requires topology; without it the (symmetric)
+// freeze-echo heuristics below are all that is available.
+func (c *attrCtx) convoyEcho(i int) bool {
+	if c.opts.Downstream == nil {
+		return false
+	}
+	lag := c.fs[i].periodLag
+	for _, d := range c.opts.Downstream[c.ss[i].Server] {
+		j := c.byName(d)
+		if j < 0 || j == i {
+			continue
+		}
+		fj := &c.fs[j]
+		if fj.periodicity < 0.3 || fj.poiShare < 0.25 {
+			continue
+		}
+		if dl := fj.periodLag - lag; dl >= -lag*3/10 && dl <= lag*3/10 {
+			return true
+		}
+	}
+	return false
+}
+
+// freezeEcho reports whether another tier freezes periodically at about
+// the same cadence as server i: i's own periodic congestion is then an
+// echo of those freezes (convoy drain, neighbor release), not a
+// stampede.
+func (c *attrCtx) freezeEcho(i int) bool {
+	tier := tierOf(c.ss[i].Server)
+	lag := c.fs[i].periodLag
+	for j := range c.ss {
+		if j == i || tierOf(c.ss[j].Server) == tier {
+			continue
+		}
+		fj := &c.fs[j]
+		if fj.periodicity < 0.3 || fj.poiShare < 0.25 {
+			continue
+		}
+		if d := fj.periodLag - lag; d >= -lag*3/10 && d <= lag*3/10 {
+			return true
+		}
+	}
+	return false
+}
+
+// overloadElsewhere reports whether another tier carries a strong
+// sustained-overload fingerprint of its own.
+func (c *attrCtx) overloadElsewhere(i int) bool {
+	tier := tierOf(c.ss[i].Server)
+	for j := range c.ss {
+		if j == i || tierOf(c.ss[j].Server) == tier {
+			continue
+		}
+		if c.fs[j].cf >= 0.1 && c.oconf[j] >= 0.4 {
+			return true
+		}
+	}
+	return false
+}
+
+// detect runs every fingerprint against server i and returns the
+// candidate verdicts plus the strongest specific-fingerprint confidence
+// (used to damp the generic fallbacks). Verdicts with an empty Server
+// act at i itself; clip verdicts name the capped server directly.
+func (c *attrCtx) detect(i int, x cross) (cands []Verdict, specificMax float64) {
+	s, f := &c.ss[i], &c.fs[i]
+	add := func(kind Kind, conf float64, evidence ...string) {
+		conf = clamp01(conf)
+		if conf <= 0 {
+			return
+		}
+		evidence = append(evidence,
+			fmt.Sprintf("congested in %.1f%% of intervals", pct(f.cf)))
+		cands = append(cands, Verdict{Kind: kind, Confidence: conf, Evidence: evidence})
+		if conf > specificMax {
+			specificMax = conf
+		}
+	}
+
+	freeze := math.Max(f.poiShare, 1-f.collapse)
+	periodic := f.periodicity >= 0.25 && f.cycles >= 3
+	periodEv := fmt.Sprintf("congestion repeats every ~%s (autocorrelation contrast %.2f over %.0f cycles)",
+		fmtDur(simnet.Duration(f.periodLag)*s.Interval), f.periodicity, f.cycles)
+
+	// Pool exhaustion: a hard-capped server below this congested caller.
+	for _, v := range c.clipVerdicts(i) {
+		cands = append(cands, v)
+		if v.Confidence > specificMax {
+			specificMax = v.Confidence
+		}
+	}
+
+	// Autoscale slow-start: the server appears partway into the window,
+	// congests immediately, and is clean by the end.
+	slowStart := f.lateStart >= 0.08 && f.earlyCong >= 0.1 && f.lateCong <= 0.3*f.earlyCong
+	if slowStart {
+		conf := clamp01(2*f.earlyCong) *
+			(1 - f.lateCong/math.Max(f.earlyCong, 1e-9)) *
+			clamp01(f.lateStart/0.15)
+		add(KindSlowStart, conf,
+			fmt.Sprintf("first activity %.0f%% into the window", pct(f.lateStart)),
+			fmt.Sprintf("congested %.0f%% of the first third after onset vs %.0f%% of the final third",
+				pct(f.earlyCong), pct(f.lateCong)))
+	}
+
+	// Lock convoy: periodic freezes and a starving downstream tier.
+	if periodic && freeze >= 0.3 && x.starveShare >= 0.2 {
+		conf := clamp01(f.periodicity/0.5) * clamp01(f.poiShare/0.3) * clamp01(x.starveShare/0.35)
+		ev := []string{
+			periodEv,
+			fmt.Sprintf("%.0f%% of congested intervals are POI freezes", pct(f.poiShare)),
+			fmt.Sprintf("%s starves (load under 25%% of its mean) in %.0f%% of the episodes",
+				x.starveName, pct(x.starveShare)),
+		}
+		if c.convoyEcho(i) {
+			conf *= 0.5
+			ev = append(ev, "damped: a direct downstream server freezes on the same cadence — this congestion mirrors it")
+		}
+		add(KindLockConvoy, conf, ev...)
+	}
+
+	// Noisy neighbor: periodic freezes on this replica while same-tier
+	// peers stay markedly cleaner.
+	if periodic && freeze >= 0.3 && x.hasPeers && x.peerMaxCF <= 0.6*f.cf {
+		conf := clamp01(f.periodicity/0.5) * clamp01(freeze/0.35) *
+			clamp01((1-x.peerMaxCF/f.cf)/0.7)
+		add(KindNoisyNeighbor, conf,
+			periodEv,
+			fmt.Sprintf("%.0f%% of congested intervals are POI freezes", pct(f.poiShare)),
+			fmt.Sprintf("peer %s congested %.1f%% vs %.1f%% here", x.peerName, pct(x.peerMaxCF), pct(f.cf)))
+	}
+
+	// Cache stampede: periodic plateaus — the tier runs flat out (TP at
+	// max, no freeze) for a bounded refill period. Damped hard when the
+	// cadence is an echo of freezes or sustained overload elsewhere.
+	if periodic && f.collapse >= 0.5 && f.poiShare <= 0.25 && f.flatShare < 0.6 {
+		conf := clamp01(f.periodicity/0.5) * clamp01(f.collapse) * (1 - f.poiShare)
+		var echoEv []string
+		if c.freezeEcho(i) {
+			conf *= 0.25
+			echoEv = append(echoEv, "damped: another tier freezes periodically at the same cadence")
+		}
+		if c.overloadElsewhere(i) {
+			conf *= 0.25
+			echoEv = append(echoEv, "damped: another tier carries a sustained-overload fingerprint")
+		}
+		add(KindCacheStampede, conf,
+			append([]string{
+				periodEv,
+				fmt.Sprintf("throughput holds at %.0f%% of TPmax while congested (saturated, not frozen)", pct(f.collapse)),
+			}, echoEv...)...)
+	}
+
+	// Open-loop overload: one long unhealed episode, load diverging far
+	// past N*.
+	if oc := c.oconf[i]; oc > 0 {
+		if slowStart {
+			oc *= 0.3 // the late-onset fingerprint is sharper
+		}
+		add(KindOverload, oc,
+			fmt.Sprintf("longest episode spans %.0f%% of the window", pct(f.longestFrac)),
+			fmt.Sprintf("peak load %.1f× the congestion point N*", f.divergence))
+	}
+
+	// Generic fallbacks, dampened when a sharper fingerprint matched.
+	damp := 1 - 0.8*clamp01(specificMax/0.5)
+	if f.poiShare >= 0.35 {
+		add(KindGCPause, 0.7*f.poiShare*damp,
+			fmt.Sprintf("%.0f%% of congested intervals are POI freezes", pct(f.poiShare)))
+	}
+	add(KindSaturation, (0.25+0.35*clamp01(2*f.cf))*damp)
+	return cands, specificMax
+}

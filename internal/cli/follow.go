@@ -10,6 +10,7 @@ import (
 	"syscall"
 	"time"
 
+	"transientbd/internal/cause"
 	"transientbd/internal/core"
 	"transientbd/internal/serve"
 	"transientbd/internal/simnet"
@@ -302,5 +303,33 @@ func printFinalSnapshot(stdout io.Writer, snap *stream.Snapshot, window time.Dur
 			worst.Server, 100*worst.CongestedFraction)
 	} else {
 		fmt.Fprintln(stdout, "\nno transient bottlenecks detected")
+	}
+	printCauses(stdout, snap)
+}
+
+// printCauses renders the attribution engine's ranked verdicts over the
+// final window. It is a pure function of the snapshot — the chaos CI
+// jobs byte-diff this output between a golden and a degraded run, so
+// nothing here may depend on wall clocks or iteration order.
+func printCauses(stdout io.Writer, snap *stream.Snapshot) {
+	ss := make([]cause.Series, 0, len(snap.Ranking))
+	for _, r := range snap.Ranking {
+		ss = append(ss, cause.FromOnline(r.Server, r.OnlineSnapshot))
+	}
+	verdicts := cause.Attribute(ss, cause.Options{})
+	if len(verdicts) == 0 {
+		return
+	}
+	fmt.Fprintln(stdout, "\nroot-cause verdicts (most likely first):")
+	for i, v := range verdicts {
+		if i >= 5 {
+			fmt.Fprintf(stdout, "  ... and %d more\n", len(verdicts)-i)
+			break
+		}
+		fmt.Fprintf(stdout, "  %-22s %-12s confidence=%.2f score=%.3f\n",
+			v.Kind, v.Server, v.Confidence, v.Score)
+		for _, e := range v.Evidence {
+			fmt.Fprintf(stdout, "      - %s\n", e)
+		}
 	}
 }

@@ -3,16 +3,19 @@
 package cli
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
+	"strings"
 
 	"transientbd/internal/jvm"
 	"transientbd/internal/ntier"
 	"transientbd/internal/simnet"
 	"transientbd/internal/traceio"
+	"transientbd/internal/workload"
 )
 
 // NtierSim runs the simulated four-tier testbed and writes its visit
@@ -31,6 +34,8 @@ func NtierSim(args []string, stdout, stderr io.Writer) error {
 		out       = fs.String("out", "-", "visit JSONL output path (- for stdout)")
 		msgOut    = fs.String("messages", "", "optional wire-message JSONL output path")
 		order     = fs.String("order", "arrive", "visit output order: arrive (transaction-assembly order) | depart (per-host completion-log order — what tbdetect agent ships and the merge head's node watermark assumes)")
+		scenario  = fs.String("scenario", "", "ground-truth battery scenario preset: "+strings.Join(ntier.ScenarioNames(), " | ")+" (explicitly set flags override preset fields)")
+		truthOut  = fs.String("truth", "", "optional ground-truth JSON output path: injected cause kinds, target servers and injection windows (µs of trace time)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -39,24 +44,53 @@ func NtierSim(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("ntiersim: unknown order %q (arrive|depart)", *order)
 	}
 
-	cfg := ntier.Config{
-		Users:       *users,
-		Duration:    simnet.FromStdDuration(*duration),
-		Ramp:        simnet.FromStdDuration(*ramp),
-		Seed:        *seed,
-		DBSpeedStep: *speedstep,
-	}
-	switch *collector {
-	case "none":
-	case "serial":
-		cfg.AppCollector = jvm.CollectorSerial
-	case "concurrent":
-		cfg.AppCollector = jvm.CollectorConcurrent
-	default:
-		return fmt.Errorf("ntiersim: unknown collector %q (none|serial|concurrent)", *collector)
-	}
-	if *bursty {
-		cfg.Burst = ntier.DefaultBurst()
+	var cfg ntier.Config
+	if *scenario != "" {
+		// Start from the canonical scenario config; flags the user set
+		// explicitly still win, so one scenario can be swept over seeds,
+		// populations or collectors.
+		var perr error
+		cfg, perr = ntier.ScenarioPreset(*scenario, *seed,
+			simnet.FromStdDuration(*duration), simnet.FromStdDuration(*ramp))
+		if perr != nil {
+			return perr
+		}
+		var flagErr error
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "users":
+				cfg.Users = *users
+			case "speedstep":
+				cfg.DBSpeedStep = *speedstep
+			case "collector":
+				if err := setCollector(&cfg, *collector); err != nil {
+					flagErr = err
+				}
+			case "bursty":
+				if *bursty {
+					cfg.Burst = ntier.DefaultBurst()
+				} else {
+					cfg.Burst = workload.BurstConfig{}
+				}
+			}
+		})
+		if flagErr != nil {
+			return flagErr
+		}
+	} else {
+		cfg = ntier.Config{
+			Users:       *users,
+			Duration:    simnet.FromStdDuration(*duration),
+			Ramp:        simnet.FromStdDuration(*ramp),
+			Seed:        *seed,
+			DBSpeedStep: *speedstep,
+		}
+		if err := setCollector(&cfg, *collector); err != nil {
+			return err
+		}
+		if *bursty {
+			cfg.Burst = ntier.DefaultBurst()
+		}
 	}
 
 	sys, err := ntier.Build(cfg)
@@ -114,10 +148,45 @@ func NtierSim(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 	}
+	if *truthOut != "" {
+		f, err := os.Create(*truthOut)
+		if err != nil {
+			return fmt.Errorf("ntiersim: %w", err)
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		truth := res.GroundTruth
+		if truth == nil {
+			truth = []ntier.GroundTruth{}
+		}
+		if err := enc.Encode(truth); err != nil {
+			return fmt.Errorf("ntiersim: write truth: %w", err)
+		}
+	}
 
+	if *scenario != "" {
+		fmt.Fprintf(stderr, "ntiersim: scenario %s (%s): %d ground-truth records\n",
+			*scenario, ntier.ScenarioDescription(*scenario), len(res.GroundTruth))
+	}
 	fmt.Fprintf(stderr, "ntiersim: WL %d for %v (+%v ramp): %d visits, %.0f pages/s, window [%v,%v]\n",
-		*users, simnet.Std(sys.Config().Duration), simnet.Std(sys.Config().Ramp),
+		cfg.Users, simnet.Std(sys.Config().Duration), simnet.Std(sys.Config().Ramp),
 		len(res.Visits), res.PagesPerSecond(),
 		simnet.Std(simnet.Duration(res.WindowStart)), simnet.Std(simnet.Duration(res.WindowEnd)))
+	return nil
+}
+
+// setCollector applies the -collector flag value to a config.
+func setCollector(cfg *ntier.Config, collector string) error {
+	switch collector {
+	case "none":
+		cfg.AppCollector = 0
+	case "serial":
+		cfg.AppCollector = jvm.CollectorSerial
+	case "concurrent":
+		cfg.AppCollector = jvm.CollectorConcurrent
+	default:
+		return fmt.Errorf("ntiersim: unknown collector %q (none|serial|concurrent)", collector)
+	}
 	return nil
 }

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"transientbd/internal/cause"
 	"transientbd/internal/core"
 	"transientbd/internal/simnet"
 	"transientbd/internal/trace"
@@ -305,6 +306,32 @@ func TBDetect(args []string, stdout, stderr io.Writer) error {
 				worst.Server, 100*worst.CongestedFraction)
 		} else {
 			fmt.Fprintln(stdout, "\nno transient bottlenecks detected")
+		}
+	}
+
+	// Fingerprinted root-cause verdicts over the whole system. A wire
+	// capture sharpens them (the call graph lets the clip fingerprint
+	// chain to the deepest capped tier and discount mirror congestion),
+	// but the engine works from the per-server series alone.
+	{
+		ss := make([]cause.Series, 0, len(analysis.PerServer))
+		for _, a := range analysis.PerServer {
+			ss = append(ss, cause.FromAnalysis(a))
+		}
+		verdicts := cause.Attribute(ss, cause.Options{Downstream: callGraph})
+		if len(verdicts) > 0 {
+			fmt.Fprintln(stdout, "\nroot-cause verdicts (most likely first):")
+			for i, v := range verdicts {
+				if i >= 5 {
+					fmt.Fprintf(stdout, "  ... and %d more\n", len(verdicts)-i)
+					break
+				}
+				fmt.Fprintf(stdout, "  %-22s %-12s confidence=%.2f score=%.3f\n",
+					v.Kind, v.Server, v.Confidence, v.Score)
+				for _, e := range v.Evidence {
+					fmt.Fprintf(stdout, "      - %s\n", e)
+				}
+			}
 		}
 	}
 

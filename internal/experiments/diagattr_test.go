@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"transientbd/internal/cause"
+	"transientbd/internal/core"
+	"transientbd/internal/ntier"
+	"transientbd/internal/simnet"
+	"transientbd/internal/trace"
+)
+
+func TestDiagAttrCells(t *testing.T) {
+	if os.Getenv("ATTR_DIAG") == "" {
+		t.Skip("set ATTR_DIAG=1")
+	}
+	opts := RunOpts{Seed: 1}
+	cells := []struct {
+		label    string
+		scenario string
+		spec     *ntier.FaultSpec
+	}{
+		{"conn-pool/clean", "conn-pool", nil},
+		{"conn-pool/5% loss", "conn-pool", &ntier.FaultSpec{Seed: 2, LossRate: 0.05}},
+		{"lock-convoy/clean", "lock-convoy", nil},
+		{"lock-convoy/skew", "lock-convoy", &ntier.FaultSpec{SkewByServer: map[string]simnet.Duration{"mysql-1": -5 * simnet.Millisecond}}},
+		{"open-loop/clean", "open-loop", nil},
+	}
+	for _, c := range cells {
+		cfg, _ := ntier.ScenarioPreset(c.scenario, opts.Seed, opts.duration(), opts.ramp())
+		sys, _ := ntier.Build(cfg)
+		res, err := sys.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		msgs := res.Messages
+		if c.spec != nil {
+			msgs, _ = ntier.InjectFaults(msgs, *c.spec)
+		}
+		w := core.Window{Start: res.WindowStart, End: res.WindowEnd}
+		repaired, _ := trace.RepairSkew(msgs)
+		visits, _ := trace.AssembleLenient(repaired, trace.AssembleOptions{InFlightTimeout: 5 * simnet.Second})
+		sysA, err := core.AnalyzeSystemGrouped(trace.PerServerParallel(visits, 0), w, core.Options{Interval: 50 * simnet.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ss []cause.Series
+		for _, a := range sysA.PerServer {
+			ss = append(ss, cause.FromAnalysis(a))
+		}
+		fmt.Printf("=== %s ===\n", c.label)
+		fmt.Print(cause.DiagDump(ss, cause.Options{Downstream: downstreamMap(sys)}))
+	}
+}

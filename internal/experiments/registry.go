@@ -201,6 +201,18 @@ func Registry() []Runner {
 			},
 		},
 		{
+			ID:          "attribution",
+			Description: "Scenario battery × capture faults: top cause verdict vs simulator ground truth",
+			Run: func(w io.Writer, opts RunOpts) error {
+				r, err := Attribution(opts)
+				if err != nil {
+					return err
+				}
+				r.Table(w)
+				return nil
+			},
+		},
+		{
 			ID:          "ext-robustness",
 			Description: "Extension: graceful degradation of detection under capture faults",
 			Run: func(w io.Writer, opts RunOpts) error {

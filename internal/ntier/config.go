@@ -80,6 +80,35 @@ type Config struct {
 	// cloud setting.
 	Antagonist *AntagonistConfig
 
+	// DBConnCap, when positive, bounds every cluster→DB connection pool
+	// at that many connections per DB host (scenario: connection-pool
+	// exhaustion). Queries beyond the cap queue inside the cluster tier
+	// waiting for a free connection.
+	DBConnCap int
+	// ConnAcquireTimeout bounds how long a queued acquire waits on a
+	// capped pool before failing fast (the query is abandoned and the
+	// page continues). Zero means wait forever.
+	ConnAcquireTimeout simnet.Duration
+
+	// Convoy, when non-nil, serializes one server behind a critical
+	// section with a periodic long hold (scenario: lock convoy).
+	Convoy *ConvoyConfig
+
+	// Stampede, when non-nil, puts a result cache in front of the app
+	// tier's queries and periodically invalidates it (scenario: cache
+	// stampede).
+	Stampede *StampedeConfig
+
+	// OpenLoop, when non-nil, replaces the closed-loop population with a
+	// Poisson arrival process that does not slow down when the system
+	// backs up (scenario: open-loop overload). Users is ignored.
+	OpenLoop *OpenLoopConfig
+
+	// Autoscale, when non-nil, adds a spare app server that joins the
+	// rotation mid-run and serves slowly while it warms up (scenario:
+	// post-autoscale slow-start).
+	Autoscale *AutoscaleConfig
+
 	// AppCollector selects the Tomcat collector; zero disables GC
 	// entirely (no heap).
 	AppCollector jvm.CollectorKind
@@ -105,7 +134,7 @@ type Config struct {
 }
 
 func (c *Config) applyDefaults() error {
-	if c.Users <= 0 {
+	if c.Users <= 0 && c.OpenLoop == nil {
 		return fmt.Errorf("ntier: users must be positive, got %d", c.Users)
 	}
 	if c.Duration <= 0 {
@@ -169,8 +198,75 @@ func (c *Config) applyDefaults() error {
 		if err := c.Antagonist.applyDefaults(); err != nil {
 			return err
 		}
+		if err := c.validateServerName("antagonist target", c.Antagonist.Target); err != nil {
+			return err
+		}
+	}
+	if c.DBConnCap < 0 {
+		return fmt.Errorf("ntier: negative DB connection cap %d", c.DBConnCap)
+	}
+	if c.ConnAcquireTimeout < 0 {
+		return fmt.Errorf("ntier: negative connection acquire timeout")
+	}
+	if c.Convoy != nil {
+		if err := c.Convoy.applyDefaults(); err != nil {
+			return err
+		}
+		if err := c.validateServerName("convoy target", c.Convoy.Target); err != nil {
+			return err
+		}
+	}
+	if c.Stampede != nil {
+		if err := c.Stampede.applyDefaults(); err != nil {
+			return err
+		}
+	}
+	if c.OpenLoop != nil {
+		if err := c.OpenLoop.applyDefaults(); err != nil {
+			return err
+		}
+	}
+	if c.Autoscale != nil {
+		if err := c.Autoscale.applyDefaults(c.Ramp, c.Duration); err != nil {
+			return err
+		}
 	}
 	return nil
+}
+
+// serverNames enumerates every server name the topology will produce,
+// including the autoscale spare when configured.
+func (c *Config) serverNames() []string {
+	appCount := c.Topology.App
+	if c.Autoscale != nil {
+		appCount++
+	}
+	var names []string
+	for i := 0; i < c.Topology.Web; i++ {
+		names = append(names, tierName("apache", i, c.Topology.Web))
+	}
+	for i := 0; i < appCount; i++ {
+		names = append(names, tierName("tomcat", i, appCount))
+	}
+	for i := 0; i < c.Topology.Cluster; i++ {
+		names = append(names, tierName("cjdbc", i, c.Topology.Cluster))
+	}
+	for i := 0; i < c.Topology.DB; i++ {
+		names = append(names, tierName("mysql", i, c.Topology.DB))
+	}
+	return names
+}
+
+// validateServerName rejects configuration that names a server the
+// topology does not contain, listing the valid names in the error.
+func (c *Config) validateServerName(what, name string) error {
+	names := c.serverNames()
+	for _, n := range names {
+		if n == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("ntier: %s %q is not in topology %v (servers: %v)", what, name, c.Topology, names)
 }
 
 // AntagonistConfig describes a periodic CPU hog co-located with one
@@ -198,6 +294,149 @@ func (a *AntagonistConfig) applyDefaults() error {
 	if a.BurstLen >= a.Period {
 		return fmt.Errorf("ntier: antagonist burst %v must be shorter than period %v",
 			simnet.Std(a.BurstLen), simnet.Std(a.Period))
+	}
+	return nil
+}
+
+// ConvoyConfig serializes one server behind a FIFO critical section
+// (think a coarse table lock or a synchronized log appender). Every
+// request through the target acquires the lock for CritWork; a janitor
+// grabs it for HoldLen every Period, parking the whole tier behind it.
+type ConvoyConfig struct {
+	// Target is the serialized server's name (e.g. "cjdbc"). Required.
+	Target string
+	// CritWork is the per-request lock hold. Defaults to 150 µs.
+	CritWork simnet.Duration
+	// Period is the interval between janitor holds. Defaults to 4 s.
+	Period simnet.Duration
+	// HoldLen is the janitor's hold length. Defaults to 400 ms.
+	HoldLen simnet.Duration
+}
+
+func (c *ConvoyConfig) applyDefaults() error {
+	if c.Target == "" {
+		return fmt.Errorf("ntier: convoy needs a target server")
+	}
+	if c.CritWork <= 0 {
+		c.CritWork = 150 * simnet.Microsecond
+	}
+	if c.Period <= 0 {
+		c.Period = 4 * simnet.Second
+	}
+	if c.HoldLen <= 0 {
+		c.HoldLen = 400 * simnet.Millisecond
+	}
+	if c.HoldLen >= c.Period {
+		return fmt.Errorf("ntier: convoy hold %v must be shorter than period %v",
+			simnet.Std(c.HoldLen), simnet.Std(c.Period))
+	}
+	return nil
+}
+
+// StampedeConfig puts a result cache in front of the app tier's queries.
+// A hit costs HitWork on the app CPU and skips the downstream call; a
+// miss goes downstream and refills one entry. Invalidation every Period
+// empties the cache and sends the full query rate at the DB tier until
+// it refills.
+type StampedeConfig struct {
+	// Period is the invalidation interval. Defaults to 15 s.
+	Period simnet.Duration
+	// HitRate is the warm-cache hit probability. Defaults to 0.75.
+	HitRate float64
+	// Entries is the number of cache entries when warm; the refill takes
+	// Entries misses. Defaults to 8000.
+	Entries int
+	// HitWork is the app-tier CPU cost of a hit. Defaults to 60 µs.
+	HitWork simnet.Duration
+}
+
+func (c *StampedeConfig) applyDefaults() error {
+	if c.Period <= 0 {
+		c.Period = 15 * simnet.Second
+	}
+	if c.HitRate == 0 {
+		c.HitRate = 0.75
+	}
+	if c.HitRate < 0 || c.HitRate > 1 {
+		return fmt.Errorf("ntier: stampede hit rate %v out of (0, 1]", c.HitRate)
+	}
+	if c.Entries <= 0 {
+		c.Entries = 8000
+	}
+	if c.HitWork <= 0 {
+		c.HitWork = 60 * simnet.Microsecond
+	}
+	return nil
+}
+
+// OpenLoopConfig replaces the closed-loop population with a Poisson
+// arrival process: arrivals do not wait for previous pages to finish,
+// so when demand exceeds capacity the queues grow without the closed
+// loop's self-limiting feedback. Optional deterministic surges multiply
+// the rate.
+type OpenLoopConfig struct {
+	// Rate is the baseline arrival rate in pages per second. Required.
+	Rate float64
+	// SurgeFactor multiplies Rate during surges. Values <= 1 disable
+	// surges.
+	SurgeFactor float64
+	// SurgeEvery is the surge period; a surge starts at every multiple.
+	SurgeEvery simnet.Duration
+	// SurgeLen is how long each surge lasts.
+	SurgeLen simnet.Duration
+}
+
+func (c *OpenLoopConfig) applyDefaults() error {
+	if c.Rate <= 0 {
+		return fmt.Errorf("ntier: open-loop arrival rate must be positive, got %v", c.Rate)
+	}
+	if c.SurgeFactor > 1 {
+		if c.SurgeEvery <= 0 || c.SurgeLen <= 0 {
+			return fmt.Errorf("ntier: open-loop surge needs SurgeEvery and SurgeLen")
+		}
+		if c.SurgeLen >= c.SurgeEvery {
+			return fmt.Errorf("ntier: open-loop surge length %v must be shorter than its period %v",
+				simnet.Std(c.SurgeLen), simnet.Std(c.SurgeEvery))
+		}
+	}
+	return nil
+}
+
+// AutoscaleConfig adds one spare app server that joins the round-robin
+// rotation at time At and serves SlowFactor× slower at first, decaying
+// linearly to full speed over Warmup — a cold JIT/cache/pool on a fresh
+// instance.
+type AutoscaleConfig struct {
+	// Tier selects the scaled tier. Only "app" is supported today.
+	Tier string
+	// At is the absolute sim time the spare joins. Defaults to
+	// ramp + duration/3.
+	At simnet.Time
+	// Warmup is how long the spare takes to reach full speed. Defaults
+	// to duration/6.
+	Warmup simnet.Duration
+	// SlowFactor is the initial service-time multiplier. Defaults to 3.
+	SlowFactor float64
+}
+
+func (c *AutoscaleConfig) applyDefaults(ramp, duration simnet.Duration) error {
+	if c.Tier == "" {
+		c.Tier = "app"
+	}
+	if c.Tier != "app" {
+		return fmt.Errorf("ntier: autoscale tier %q not supported (only \"app\")", c.Tier)
+	}
+	if c.At <= 0 {
+		c.At = simnet.Time(ramp + duration/3)
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = duration / 6
+	}
+	if c.SlowFactor == 0 {
+		c.SlowFactor = 3
+	}
+	if c.SlowFactor < 1 {
+		return fmt.Errorf("ntier: autoscale slow factor %v must be >= 1", c.SlowFactor)
 	}
 	return nil
 }

@@ -1,5 +1,9 @@
 package ntier
 
+import (
+	"transientbd/internal/simnet"
+)
+
 // connPool hands out TCP connection identities per (from, to) host pair,
 // emulating the connection pooling of a synchronous RPC stack: a
 // connection carries at most one outstanding call, is returned to the
@@ -7,31 +11,143 @@ package ntier
 // when the pool is empty. The identities appear on wire messages and are
 // what lets a black-box tracer (SysViz, trace.Reconstruct) demultiplex
 // concurrent same-class calls.
+//
+// A (from, to) pair may be capped (scenario: DB-tier pool exhaustion).
+// Capped pairs stop opening connections at the cap; further acquires
+// queue FIFO behind releases and may time out. Uncapped pairs keep the
+// original synchronous fast path, so configurations without caps behave
+// bit-identically to the historical pool.
 type connPool struct {
-	free map[[2]string][]int64
-	next int64
+	engine *simnet.Engine
+
+	free    map[[2]string][]int64
+	opened  map[[2]string]int
+	caps    map[[2]string]int
+	waiters map[[2]string][]*connWaiter
+	timeout simnet.Duration
+	next    int64
+
+	// Wait-window accounting per destination host, used for ground truth:
+	// a window opens when the first waiter queues for a destination and
+	// closes when the last waiter is served or times out.
+	waiting     map[string]int
+	waitOpen    map[string]simnet.Time
+	waitWindows map[string][]TruthWindow
+	timeouts    map[string]int64
 }
 
-func newConnPool() *connPool {
-	return &connPool{free: make(map[[2]string][]int64)}
+// connWaiter is one queued acquire on a capped pair.
+type connWaiter struct {
+	cb   func(conn int64, ok bool)
+	done bool // served or timed out
 }
 
-// acquire checks a connection out of the (from, to) pool, opening a new
-// one if none is free.
-func (p *connPool) acquire(from, to string) int64 {
-	key := [2]string{from, to}
-	q := p.free[key]
-	if n := len(q); n > 0 {
-		conn := q[n-1]
-		p.free[key] = q[:n-1]
-		return conn
+func newConnPool(engine *simnet.Engine, timeout simnet.Duration) *connPool {
+	return &connPool{
+		engine:      engine,
+		free:        make(map[[2]string][]int64),
+		opened:      make(map[[2]string]int),
+		caps:        make(map[[2]string]int),
+		waiters:     make(map[[2]string][]*connWaiter),
+		timeout:     timeout,
+		waiting:     make(map[string]int),
+		waitOpen:    make(map[string]simnet.Time),
+		waitWindows: make(map[string][]TruthWindow),
+		timeouts:    make(map[string]int64),
 	}
-	p.next++
-	return p.next
 }
 
-// release returns a connection to its pool.
+// setCap bounds the (from, to) pair at cap connections.
+func (p *connPool) setCap(from, to string, cap int) {
+	p.caps[[2]string{from, to}] = cap
+}
+
+// acquire requests a connection for the (from, to) pair. The callback
+// receives (conn, true) when a connection is available — synchronously
+// for uncapped pairs or capped pairs below their bound — or (0, false)
+// if the acquire waited longer than the pool timeout.
+func (p *connPool) acquire(from, to string, cb func(conn int64, ok bool)) {
+	key := [2]string{from, to}
+	if q := p.free[key]; len(q) > 0 {
+		conn := q[len(q)-1]
+		p.free[key] = q[:len(q)-1]
+		cb(conn, true)
+		return
+	}
+	cap := p.caps[key]
+	if cap <= 0 || p.opened[key] < cap {
+		p.opened[key]++
+		p.next++
+		cb(p.next, true)
+		return
+	}
+	// Pool exhausted: queue behind the next release.
+	w := &connWaiter{cb: cb}
+	p.waiters[key] = append(p.waiters[key], w)
+	p.waitArrived(to)
+	if p.timeout > 0 {
+		p.engine.Schedule(p.timeout, func() {
+			if w.done {
+				return
+			}
+			w.done = true
+			p.timeouts[to]++
+			p.waitLeft(to)
+			w.cb(0, false)
+		})
+	}
+}
+
+// release returns a connection to its pool, handing it straight to the
+// longest-waiting queued acquire if one exists.
 func (p *connPool) release(from, to string, conn int64) {
 	key := [2]string{from, to}
+	q := p.waiters[key]
+	for len(q) > 0 {
+		w := q[0]
+		q = q[1:]
+		if w.done {
+			continue // timed out while queued
+		}
+		p.waiters[key] = q
+		w.done = true
+		p.waitLeft(to)
+		w.cb(conn, true)
+		return
+	}
+	p.waiters[key] = q
 	p.free[key] = append(p.free[key], conn)
 }
+
+func (p *connPool) waitArrived(to string) {
+	if p.waiting[to] == 0 {
+		p.waitOpen[to] = p.engine.Now()
+	}
+	p.waiting[to]++
+}
+
+func (p *connPool) waitLeft(to string) {
+	p.waiting[to]--
+	if p.waiting[to] == 0 {
+		p.waitWindows[to] = append(p.waitWindows[to], TruthWindow{
+			Start: p.waitOpen[to],
+			End:   p.engine.Now(),
+		})
+	}
+}
+
+// waitWindowsFor returns the coalesced periods during which at least one
+// acquire was queued for the destination host, closing any still-open
+// window at now.
+func (p *connPool) waitWindowsFor(to string, now simnet.Time) []TruthWindow {
+	ws := p.waitWindows[to]
+	if p.waiting[to] > 0 {
+		ws = append(append([]TruthWindow(nil), ws...), TruthWindow{Start: p.waitOpen[to], End: now})
+	}
+	// The raw signal flickers between a release and the next queued
+	// arrival; merge sub-second gaps and drop blips.
+	return coalesceWindows(ws, simnet.Second, 100*simnet.Millisecond)
+}
+
+// timeoutsFor returns how many acquires for the destination timed out.
+func (p *connPool) timeoutsFor(to string) int64 { return p.timeouts[to] }

@@ -98,3 +98,14 @@ func TestInjectFaultsSkew(t *testing.T) {
 		}
 	}
 }
+
+func TestInjectFaultsApproximateDupRate(t *testing.T) {
+	msgs := faultFixture(10000)
+	out, rep := InjectFaults(msgs, FaultSpec{Seed: 3, DupRate: 0.05})
+	if rep.Duplicated < 350 || rep.Duplicated > 650 {
+		t.Errorf("duplicated %d of 10000 at 5%% dup, want ~500", rep.Duplicated)
+	}
+	if rep.Output != rep.Input+rep.Duplicated || len(out) != rep.Output {
+		t.Errorf("report does not add up: %+v (len(out)=%d)", rep, len(out))
+	}
+}

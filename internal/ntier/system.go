@@ -43,6 +43,13 @@ type System struct {
 	rrDB     int
 	rrCl     int
 	rrWeb    int
+
+	// Scenario state + ground-truth accounting.
+	appActive     int // app servers in rotation (autoscale adds one mid-run)
+	convoy        *serialLock
+	convoyWindows []TruthWindow
+	cache         *queryCache
+	hogWindows    []TruthWindow
 }
 
 // Build constructs the system from cfg.
@@ -59,7 +66,7 @@ func Build(cfg Config) (*System, error) {
 		engine:    engine,
 		collector: collector,
 		rngNoise:  root.Split("noise"),
-		conns:     newConnPool(),
+		conns:     newConnPool(engine, cfg.ConnAcquireTimeout),
 	}
 
 	mkProc := func(gov cpu.Governor, period simnet.Duration) (*cpu.Processor, error) {
@@ -90,7 +97,13 @@ func Build(cfg Config) (*System, error) {
 	}
 
 	// App tier (Tomcat): optional JVM heap with the configured collector.
-	for i := 0; i < cfg.Topology.App; i++ {
+	// An autoscale scenario builds one spare that joins the rotation
+	// mid-run.
+	appCount := cfg.Topology.App
+	if cfg.Autoscale != nil {
+		appCount++
+	}
+	for i := 0; i < appCount; i++ {
 		proc, err := mkProc(cpu.FixedGovernor{State: 0}, 0)
 		if err != nil {
 			return nil, fmt.Errorf("ntier: app processor: %w", err)
@@ -107,13 +120,17 @@ func Build(cfg Config) (*System, error) {
 			s.appHeaps = append(s.appHeaps, heap)
 		}
 		srv, err := server.New(engine, proc, heap, collector, server.Config{
-			Name:    tierName("tomcat", i, cfg.Topology.App),
+			Name:    tierName("tomcat", i, appCount),
 			Threads: cfg.AppThreads,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("ntier: app server: %w", err)
 		}
 		s.app = append(s.app, srv)
+	}
+	s.appActive = cfg.Topology.App
+	if cfg.Autoscale != nil {
+		engine.At(cfg.Autoscale.At, func() { s.appActive = appCount })
 	}
 
 	// Cluster middleware (C-JDBC).
@@ -149,6 +166,41 @@ func Build(cfg Config) (*System, error) {
 		s.db = append(s.db, srv)
 	}
 
+	if cfg.DBConnCap > 0 {
+		for _, cl := range s.cluster {
+			for _, db := range s.db {
+				s.conns.setCap(cl.Name(), db.Name(), cfg.DBConnCap)
+			}
+		}
+	}
+
+	if cfg.Convoy != nil {
+		s.convoy = newSerialLock(engine)
+		spec := *cfg.Convoy
+		var holdStart simnet.Time
+		var janitor func()
+		janitor = func() {
+			s.convoy.with(spec.HoldLen,
+				func() { holdStart = engine.Now() },
+				func() {
+					s.convoyWindows = append(s.convoyWindows, TruthWindow{Start: holdStart, End: engine.Now()})
+				})
+			engine.Schedule(spec.Period, janitor)
+		}
+		engine.Schedule(spec.Period, janitor)
+	}
+
+	if cfg.Stampede != nil {
+		s.cache = newQueryCache(root.Split("cache"), cfg.Stampede.HitRate, cfg.Stampede.Entries)
+		period := cfg.Stampede.Period
+		var invalidate func()
+		invalidate = func() {
+			s.cache.invalidate(engine.Now())
+			engine.Schedule(period, invalidate)
+		}
+		engine.Schedule(period, invalidate)
+	}
+
 	if cfg.Antagonist != nil {
 		var victim *server.Server
 		for _, srv := range s.AllServers() {
@@ -167,6 +219,8 @@ func Build(cfg Config) (*System, error) {
 			// Occupy every core for the burst length; the hog competes
 			// FCFS with application requests, exactly like a co-located
 			// VM stealing the physical cores.
+			now := engine.Now()
+			s.hogWindows = append(s.hogWindows, TruthWindow{Start: now, End: now + spec.BurstLen})
 			for c := 0; c < proc.Cores(); c++ {
 				proc.Submit(spec.BurstLen, nil)
 			}
@@ -175,6 +229,15 @@ func Build(cfg Config) (*System, error) {
 		engine.Schedule(spec.Period, hog)
 	}
 
+	var openLoop *workload.OpenLoopConfig
+	if cfg.OpenLoop != nil {
+		openLoop = &workload.OpenLoopConfig{
+			Rate:        cfg.OpenLoop.Rate,
+			SurgeFactor: cfg.OpenLoop.SurgeFactor,
+			SurgeEvery:  cfg.OpenLoop.SurgeEvery,
+			SurgeLen:    cfg.OpenLoop.SurgeLen,
+		}
+	}
 	gen, err := workload.NewGenerator(engine, root.Split("workload"), workload.Config{
 		Users:      cfg.Users,
 		ThinkMean:  cfg.ThinkMean,
@@ -182,6 +245,7 @@ func Build(cfg Config) (*System, error) {
 		Mix:        cfg.Mix,
 		Submit:     s.submit,
 		RecordFrom: cfg.Ramp,
+		OpenLoop:   openLoop,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("ntier: generator: %w", err)
@@ -202,111 +266,171 @@ func (s *System) noisy(d simnet.Duration) simnet.Duration {
 	return simnet.Duration(float64(d) * s.rngNoise.LogNormal(s.cfg.NoiseSigma))
 }
 
+// withConvoy prepends the critical-section phase when name is the convoy
+// target: the request holds the serial lock (off-CPU, FIFO) before its
+// normal processing.
+func (s *System) withConvoy(name string, phases []server.Phase) []server.Phase {
+	if s.convoy == nil || name != s.cfg.Convoy.Target {
+		return phases
+	}
+	hold := s.noisy(s.cfg.Convoy.CritWork)
+	lock := server.Downstream{Do: func(done func()) {
+		s.convoy.with(hold, nil, done)
+	}}
+	return append([]server.Phase{lock}, phases...)
+}
+
+// slowdown returns the autoscale warm-up service-time multiplier for an
+// app server (1 for everything except the spare during its warm-up).
+func (s *System) slowdown(appIdx int) float64 {
+	a := s.cfg.Autoscale
+	if a == nil || appIdx != len(s.app)-1 {
+		return 1
+	}
+	now := s.engine.Now()
+	if now >= a.At+a.Warmup {
+		return 1
+	}
+	progress := float64(now-a.At) / float64(a.Warmup)
+	if progress < 0 {
+		progress = 0
+	}
+	return a.SlowFactor - (a.SlowFactor-1)*progress
+}
+
 // submit dispatches one client transaction into the web tier.
 func (s *System) submit(ix *workload.Interaction, txn int64, done func()) {
 	web := s.web[s.rrWeb%len(s.web)]
 	s.rrWeb++
-	hop := s.collector.NextHopID()
-	conn := s.conns.acquire("client", web.Name())
-	webWork := s.noisy(ix.WebWork)
-	req := &server.Request{
-		Class:     ix.Name,
-		TxnID:     txn,
-		HopID:     hop,
-		ParentHop: 0,
-		From:      "client",
-		Conn:      conn,
-		ReqBytes:  clientReqBytes,
-		RespBytes: ix.PageBytes,
-		Phases: []server.Phase{
-			server.Compute{Work: webWork / 2},
-			server.Downstream{Do: func(appDone func()) {
-				s.callApp(ix, txn, hop, web.Name(), appDone)
-			}},
-			server.Compute{Work: webWork - webWork/2},
-		},
-		OnDone: func() {
-			s.conns.release("client", web.Name(), conn)
+	s.conns.acquire("client", web.Name(), func(conn int64, ok bool) {
+		if !ok {
 			done()
-		},
-	}
-	// Receive only fails on malformed requests, which construction rules
-	// out; a failure here is a programming error worth surfacing loudly.
-	if err := web.Receive(req); err != nil {
-		panic(fmt.Sprintf("ntier: web receive: %v", err))
-	}
+			return
+		}
+		hop := s.collector.NextHopID()
+		webWork := s.noisy(ix.WebWork)
+		req := &server.Request{
+			Class:     ix.Name,
+			TxnID:     txn,
+			HopID:     hop,
+			ParentHop: 0,
+			From:      "client",
+			Conn:      conn,
+			ReqBytes:  clientReqBytes,
+			RespBytes: ix.PageBytes,
+			Phases: s.withConvoy(web.Name(), []server.Phase{
+				server.Compute{Work: webWork / 2},
+				server.Downstream{Do: func(appDone func()) {
+					s.callApp(ix, txn, hop, web.Name(), appDone)
+				}},
+				server.Compute{Work: webWork - webWork/2},
+			}),
+			OnDone: func() {
+				s.conns.release("client", web.Name(), conn)
+				done()
+			},
+		}
+		// Receive only fails on malformed requests, which construction
+		// rules out; a failure here is a programming error worth surfacing
+		// loudly.
+		if err := web.Receive(req); err != nil {
+			panic(fmt.Sprintf("ntier: web receive: %v", err))
+		}
+	})
 }
 
 // callApp dispatches the app-tier portion of a transaction.
 func (s *System) callApp(ix *workload.Interaction, txn, parentHop int64, from string, done func()) {
-	app := s.app[s.rrApp%len(s.app)]
+	appIdx := s.rrApp % s.appActive
+	app := s.app[appIdx]
 	s.rrApp++
-	hop := s.collector.NextHopID()
-	conn := s.conns.acquire(from, app.Name())
-
-	phases := make([]server.Phase, 0, 2*len(ix.Queries)+2)
-	phases = append(phases, server.Compute{Work: s.noisy(ix.AppPreWork)})
-	for qi := range ix.Queries {
-		q := ix.Queries[qi]
-		phases = append(phases, server.Downstream{Do: func(qDone func()) {
-			s.callCluster(ix, q, txn, hop, app.Name(), qDone)
-		}})
-		phases = append(phases, server.Compute{Work: s.noisy(ix.AppPerQueryWork)})
-	}
-	phases = append(phases, server.Compute{Work: s.noisy(ix.AppPostWork)})
-
-	req := &server.Request{
-		Class:      ix.Name,
-		TxnID:      txn,
-		HopID:      hop,
-		ParentHop:  parentHop,
-		From:       from,
-		Conn:       conn,
-		ReqBytes:   webToAppBytes,
-		RespBytes:  appRespBytes,
-		AllocBytes: ix.AllocBytes,
-		Phases:     phases,
-		OnDone: func() {
-			s.conns.release(from, app.Name(), conn)
+	s.conns.acquire(from, app.Name(), func(conn int64, ok bool) {
+		if !ok {
 			done()
-		},
-	}
-	if err := app.Receive(req); err != nil {
-		panic(fmt.Sprintf("ntier: app receive: %v", err))
-	}
+			return
+		}
+		hop := s.collector.NextHopID()
+		// A warming autoscale spare serves every app-side phase slower.
+		slow := s.slowdown(appIdx)
+		appWork := func(d simnet.Duration) simnet.Duration {
+			return simnet.Duration(float64(s.noisy(d)) * slow)
+		}
+
+		phases := make([]server.Phase, 0, 2*len(ix.Queries)+2)
+		phases = append(phases, server.Compute{Work: appWork(ix.AppPreWork)})
+		for qi := range ix.Queries {
+			q := ix.Queries[qi]
+			if s.cache != nil && s.cache.lookup(s.engine.Now()) {
+				// Cache hit: the result is served from the app tier; no
+				// downstream call.
+				phases = append(phases, server.Compute{Work: appWork(s.cfg.Stampede.HitWork)})
+				continue
+			}
+			phases = append(phases, server.Downstream{Do: func(qDone func()) {
+				s.callCluster(ix, q, txn, hop, app.Name(), qDone)
+			}})
+			phases = append(phases, server.Compute{Work: appWork(ix.AppPerQueryWork)})
+		}
+		phases = append(phases, server.Compute{Work: appWork(ix.AppPostWork)})
+
+		req := &server.Request{
+			Class:      ix.Name,
+			TxnID:      txn,
+			HopID:      hop,
+			ParentHop:  parentHop,
+			From:       from,
+			Conn:       conn,
+			ReqBytes:   webToAppBytes,
+			RespBytes:  appRespBytes,
+			AllocBytes: ix.AllocBytes,
+			Phases:     s.withConvoy(app.Name(), phases),
+			OnDone: func() {
+				s.conns.release(from, app.Name(), conn)
+				done()
+			},
+		}
+		if err := app.Receive(req); err != nil {
+			panic(fmt.Sprintf("ntier: app receive: %v", err))
+		}
+	})
 }
 
 // callCluster dispatches one query through the clustering middleware.
 func (s *System) callCluster(ix *workload.Interaction, q workload.Query, txn, parentHop int64, from string, done func()) {
 	cl := s.cluster[s.rrCl%len(s.cluster)]
 	s.rrCl++
-	hop := s.collector.NextHopID()
-	conn := s.conns.acquire(from, cl.Name())
-	clWork := s.noisy(ix.ClusterPerQueryWork)
-	req := &server.Request{
-		Class:     q.Template,
-		TxnID:     txn,
-		HopID:     hop,
-		ParentHop: parentHop,
-		From:      from,
-		Conn:      conn,
-		ReqBytes:  appToClBytes,
-		RespBytes: clRespBytes,
-		Phases: []server.Phase{
-			server.Compute{Work: clWork * 2 / 3},
-			server.Downstream{Do: func(dbDone func()) {
-				s.callDB(q, txn, hop, cl.Name(), dbDone)
-			}},
-			server.Compute{Work: clWork / 3},
-		},
-		OnDone: func() {
-			s.conns.release(from, cl.Name(), conn)
+	s.conns.acquire(from, cl.Name(), func(conn int64, ok bool) {
+		if !ok {
 			done()
-		},
-	}
-	if err := cl.Receive(req); err != nil {
-		panic(fmt.Sprintf("ntier: cluster receive: %v", err))
-	}
+			return
+		}
+		hop := s.collector.NextHopID()
+		clWork := s.noisy(ix.ClusterPerQueryWork)
+		req := &server.Request{
+			Class:     q.Template,
+			TxnID:     txn,
+			HopID:     hop,
+			ParentHop: parentHop,
+			From:      from,
+			Conn:      conn,
+			ReqBytes:  appToClBytes,
+			RespBytes: clRespBytes,
+			Phases: s.withConvoy(cl.Name(), []server.Phase{
+				server.Compute{Work: clWork * 2 / 3},
+				server.Downstream{Do: func(dbDone func()) {
+					s.callDB(q, txn, hop, cl.Name(), dbDone)
+				}},
+				server.Compute{Work: clWork / 3},
+			}),
+			OnDone: func() {
+				s.conns.release(from, cl.Name(), conn)
+				done()
+			},
+		}
+		if err := cl.Receive(req); err != nil {
+			panic(fmt.Sprintf("ntier: cluster receive: %v", err))
+		}
+	})
 }
 
 // callDB dispatches one query to a database server (round-robin, as
@@ -314,33 +438,42 @@ func (s *System) callCluster(ix *workload.Interaction, q workload.Query, txn, pa
 func (s *System) callDB(q workload.Query, txn, parentHop int64, from string, done func()) {
 	db := s.db[s.rrDB%len(s.db)]
 	s.rrDB++
-	hop := s.collector.NextHopID()
-	conn := s.conns.acquire(from, db.Name())
-	phases := []server.Phase{
-		server.Compute{Work: s.noisy(q.Work)},
-	}
-	if q.WriteBytes > 0 {
-		// Writes flush to the database disk before responding.
-		phases = append(phases, server.DiskIO{Bytes: q.WriteBytes})
-	}
-	req := &server.Request{
-		Class:     q.Template,
-		TxnID:     txn,
-		HopID:     hop,
-		ParentHop: parentHop,
-		From:      from,
-		Conn:      conn,
-		ReqBytes:  clToDBBytes,
-		RespBytes: q.RespBytes,
-		Phases:    phases,
-		OnDone: func() {
-			s.conns.release(from, db.Name(), conn)
+	// On a capped pool this acquire may park the calling thread (it stays
+	// inside the cluster tier's Downstream phase) until a connection
+	// frees, or fail after the pool timeout, in which case the query is
+	// abandoned and the page continues.
+	s.conns.acquire(from, db.Name(), func(conn int64, ok bool) {
+		if !ok {
 			done()
-		},
-	}
-	if err := db.Receive(req); err != nil {
-		panic(fmt.Sprintf("ntier: db receive: %v", err))
-	}
+			return
+		}
+		hop := s.collector.NextHopID()
+		phases := []server.Phase{
+			server.Compute{Work: s.noisy(q.Work)},
+		}
+		if q.WriteBytes > 0 {
+			// Writes flush to the database disk before responding.
+			phases = append(phases, server.DiskIO{Bytes: q.WriteBytes})
+		}
+		req := &server.Request{
+			Class:     q.Template,
+			TxnID:     txn,
+			HopID:     hop,
+			ParentHop: parentHop,
+			From:      from,
+			Conn:      conn,
+			ReqBytes:  clToDBBytes,
+			RespBytes: q.RespBytes,
+			Phases:    s.withConvoy(db.Name(), phases),
+			OnDone: func() {
+				s.conns.release(from, db.Name(), conn)
+				done()
+			},
+		}
+		if err := db.Receive(req); err != nil {
+			panic(fmt.Sprintf("ntier: db receive: %v", err))
+		}
+	})
 }
 
 // Engine returns the simulation engine.
@@ -394,6 +527,14 @@ type Result struct {
 	// Utilization is each server's average CPU utilization (0..1) over
 	// the measured window.
 	Utilization map[string]float64
+	// GroundTruth carries one machine-readable injection record per
+	// configured bottleneck mechanism, windows clipped to the measured
+	// window. Empty when no scenario mechanism is configured.
+	GroundTruth []GroundTruth
+	// PoolTimeouts counts connection acquires abandoned at the pool
+	// timeout, per destination server (only populated with a capped
+	// pool and ConnAcquireTimeout set).
+	PoolTimeouts map[string]int64
 }
 
 // Run drives the system for ramp + duration and harvests results.
@@ -431,7 +572,100 @@ func (s *System) Run() (*Result, error) {
 		Visits:      visits,
 		Messages:    msgs,
 		Utilization: util,
+		GroundTruth: s.groundTruth(),
+		PoolTimeouts: func() map[string]int64 {
+			out := make(map[string]int64)
+			for _, db := range s.db {
+				if n := s.conns.timeoutsFor(db.Name()); n > 0 {
+					out[db.Name()] = n
+				}
+			}
+			return out
+		}(),
 	}, nil
+}
+
+// groundTruth assembles the machine-readable injection records for every
+// configured scenario mechanism, clipped to the measured window.
+func (s *System) groundTruth() []GroundTruth {
+	start, end := s.MeasuredWindow()
+	now := s.engine.Now()
+	var out []GroundTruth
+
+	if s.cfg.DBConnCap > 0 {
+		// One record per DB host: their wait windows differ. The cluster
+		// tier holding the exhausted pools is part of the blast site — the
+		// cap acts on its outbound edge, and callers observe the clip
+		// there — so it is included in every record's server set.
+		var callers []string
+		for _, cl := range s.cluster {
+			callers = append(callers, cl.Name())
+		}
+		for _, db := range s.db {
+			out = append(out, GroundTruth{
+				Cause:   CausePoolExhaustion,
+				Servers: append([]string{db.Name()}, callers...),
+				Windows: clipWindows(s.conns.waitWindowsFor(db.Name(), now), start, end),
+			})
+		}
+	}
+	if s.cfg.Convoy != nil {
+		out = append(out, GroundTruth{
+			Cause:   CauseLockConvoy,
+			Servers: []string{s.cfg.Convoy.Target},
+			Windows: clipWindows(s.convoyWindows, start, end),
+		})
+	}
+	if s.cfg.Stampede != nil {
+		var dbs []string
+		for _, db := range s.db {
+			dbs = append(dbs, db.Name())
+		}
+		out = append(out, GroundTruth{
+			Cause:   CauseCacheStampede,
+			Servers: dbs,
+			Windows: clipWindows(s.cache.windows(now), start, end),
+		})
+	}
+	if s.cfg.Antagonist != nil {
+		out = append(out, GroundTruth{
+			Cause:   CauseNoisyNeighbor,
+			Servers: []string{s.cfg.Antagonist.Target},
+			Windows: clipWindows(s.hogWindows, start, end),
+		})
+	}
+	if ol := s.cfg.OpenLoop; ol != nil {
+		var apps []string
+		for i := 0; i < s.appActive; i++ {
+			apps = append(apps, s.app[i].Name())
+		}
+		var ws []TruthWindow
+		if ol.SurgeFactor > 1 {
+			for k := simnet.Duration(1); k*ol.SurgeEvery < end; k++ {
+				ws = append(ws, TruthWindow{
+					Start: k * ol.SurgeEvery,
+					End:   k*ol.SurgeEvery + ol.SurgeLen,
+				})
+			}
+		} else {
+			// Constant overload: the whole window is the injection.
+			ws = []TruthWindow{{Start: start, End: end}}
+		}
+		out = append(out, GroundTruth{
+			Cause:   CauseOverload,
+			Servers: apps,
+			Windows: clipWindows(ws, start, end),
+		})
+	}
+	if a := s.cfg.Autoscale; a != nil {
+		spare := s.app[len(s.app)-1]
+		out = append(out, GroundTruth{
+			Cause:   CauseSlowStart,
+			Servers: []string{spare.Name()},
+			Windows: clipWindows([]TruthWindow{{Start: a.At, End: a.At + a.Warmup}}, start, end),
+		})
+	}
+	return out
 }
 
 // PagesPerSecond returns the measured page throughput of a result.

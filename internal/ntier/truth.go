@@ -1,0 +1,100 @@
+package ntier
+
+import (
+	"sort"
+
+	"transientbd/internal/simnet"
+)
+
+// CauseKind labels a simulated transient-bottleneck mechanism. The
+// values are the machine-readable ground-truth vocabulary shared with
+// the attribution engine (internal/cause) and the experiments harness:
+// a scenario emits its kind here, and the attribution experiment asserts
+// the top-ranked verdict names the same kind.
+type CauseKind string
+
+// Ground-truth cause kinds emitted by the scenario battery.
+const (
+	// CausePoolExhaustion: a bounded connection pool in front of a tier
+	// clips its concurrency; callers queue for connections upstream.
+	CausePoolExhaustion CauseKind = "conn-pool-exhaustion"
+	// CauseLockConvoy: a critical section serializes a tier; a periodic
+	// long hold parks every request behind the lock.
+	CauseLockConvoy CauseKind = "lock-convoy"
+	// CauseCacheStampede: a cache invalidation sends the whole miss
+	// storm downstream until the cache refills.
+	CauseCacheStampede CauseKind = "cache-stampede"
+	// CauseNoisyNeighbor: a co-located tenant periodically steals every
+	// core of one host.
+	CauseNoisyNeighbor CauseKind = "noisy-neighbor"
+	// CauseOverload: an open-loop arrival process exceeds capacity, so
+	// queues grow without the closed-loop's self-limiting feedback.
+	CauseOverload CauseKind = "overload"
+	// CauseSlowStart: a freshly autoscaled instance serves at a fraction
+	// of its steady-state speed while caches and JITs warm.
+	CauseSlowStart CauseKind = "autoscale-slow-start"
+)
+
+// TruthWindow is one [Start, End) span during which a ground-truth cause
+// was actively injected.
+type TruthWindow struct {
+	Start, End simnet.Time
+}
+
+// GroundTruth is one machine-readable injection record: which mechanism
+// was active, which servers it targeted, and when. A Result carries one
+// record per configured mechanism (pool exhaustion emits one per capped
+// server, since their wait windows differ).
+type GroundTruth struct {
+	Cause   CauseKind
+	Servers []string
+	Windows []TruthWindow
+}
+
+// clipWindows intersects windows with [start, end) and drops empties.
+func clipWindows(ws []TruthWindow, start, end simnet.Time) []TruthWindow {
+	out := make([]TruthWindow, 0, len(ws))
+	for _, w := range ws {
+		if w.Start < start {
+			w.Start = start
+		}
+		if w.End > end {
+			w.End = end
+		}
+		if w.End > w.Start {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// coalesceWindows sorts windows and merges any pair closer than gap,
+// dropping merged windows shorter than minLen. Used where the raw
+// injection signal flickers (e.g. pool waiter counts crossing zero for
+// an instant between a release and the next acquire).
+func coalesceWindows(ws []TruthWindow, gap, minLen simnet.Duration) []TruthWindow {
+	if len(ws) == 0 {
+		return nil
+	}
+	sorted := make([]TruthWindow, len(ws))
+	copy(sorted, ws)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+	merged := []TruthWindow{sorted[0]}
+	for _, w := range sorted[1:] {
+		last := &merged[len(merged)-1]
+		if w.Start-last.End <= simnet.Time(gap) {
+			if w.End > last.End {
+				last.End = w.End
+			}
+			continue
+		}
+		merged = append(merged, w)
+	}
+	out := merged[:0]
+	for _, w := range merged {
+		if w.End-w.Start >= simnet.Time(minLen) {
+			out = append(out, w)
+		}
+	}
+	return out
+}

@@ -50,13 +50,17 @@ func apiExamples(t *testing.T) map[string]string {
 		}
 		return string(b)
 	}
+	// The alert example carries the verdict annotation exactly as a live
+	// subscriber would see it: looked up from the published snapshot.
+	vs := fixtureServer()
+	vs.PublishSnapshot(fixtureSnapshot())
 	return map[string]string{
 		"report":        fixtureBody(t, "/report"),
 		"series":        fixtureBody(t, "/servers/mysql-1/series"),
 		"healthz":       fixtureBody(t, "/healthz"),
 		"readyz":        fixtureBody(t, "/readyz"),
 		"series-error":  fixtureBody(t, "/servers/nosuch/series"),
-		"alert-event":   mustJSON(alertJSON(fixtureAlert())),
+		"alert-event":   mustJSON(alertJSON(fixtureAlert(), vs.verdictFor("mysql-1"))),
 		"dropped-event": mustJSON(DroppedJSON{Dropped: 2}),
 	}
 }

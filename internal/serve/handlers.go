@@ -28,8 +28,30 @@ type ReportJSON struct {
 	// Servers ranks every tracked server worst-first (congested fraction
 	// descending, ties by name).
 	Servers []ServerRankJSON `json:"servers"`
+	// Causes ranks the attribution engine's root-cause verdicts over the
+	// snapshot, most likely first. Empty when no server congested enough
+	// to fingerprint.
+	Causes []CauseJSON `json:"causes"`
 	// Metrics is the runtime self-metrics block.
 	Metrics MetricsJSON `json:"metrics"`
+}
+
+// CauseJSON is one ranked root-cause verdict in the /report response.
+type CauseJSON struct {
+	// Kind names the fingerprinted cause: "conn-pool-exhaustion",
+	// "lock-convoy", "cache-stampede", "noisy-neighbor", "overload",
+	// "autoscale-slow-start", "gc-pause" or "saturation".
+	Kind string `json:"kind"`
+	// Server is where the cause acts — for pool exhaustion, the capped
+	// server itself, witnessed from its queueing callers.
+	Server string `json:"server"`
+	// Confidence in (0, 1] is fingerprint sharpness; Score ranks
+	// verdicts across servers (congested fraction × unexplained share ×
+	// confidence).
+	Confidence float64 `json:"confidence"`
+	Score      float64 `json:"score"`
+	// Evidence is human-readable support, free of absolute timestamps.
+	Evidence []string `json:"evidence"`
 }
 
 // ServerRankJSON is one server's row in the /report ranking.
@@ -112,6 +134,10 @@ type AlertJSON struct {
 	// marks a congested interval with near-zero throughput (a POI).
 	State  string `json:"state"`
 	Freeze bool   `json:"freeze"`
+	// Verdict is the server's top root-cause verdict kind from the
+	// latest published snapshot (see /report causes). Omitted before the
+	// first snapshot or when the server has no verdict yet.
+	Verdict string `json:"verdict,omitempty"`
 }
 
 // DroppedJSON is the payload of an SSE "dropped" event: how many alerts
@@ -202,8 +228,9 @@ func metricsJSON(m stream.Metrics) MetricsJSON {
 	}
 }
 
-// alertJSON converts a merged-stream alert for the SSE feed.
-func alertJSON(a stream.Alert) AlertJSON {
+// alertJSON converts a merged-stream alert for the SSE feed, annotated
+// with the server's current top verdict kind ("" omits the field).
+func alertJSON(a stream.Alert, verdict string) AlertJSON {
 	return AlertJSON{
 		Server:           a.Server,
 		AtMicros:         int64(a.At),
@@ -211,6 +238,7 @@ func alertJSON(a stream.Alert) AlertJSON {
 		ThroughputPerSec: a.TP,
 		State:            stateString(a.State),
 		Freeze:           a.POI,
+		Verdict:          verdict,
 	}
 }
 
@@ -269,7 +297,17 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		WatermarkMicros:    int64(pub.snap.At),
 		PublishedUnixMilli: pub.at.UnixMilli(),
 		Servers:            make([]ServerRankJSON, 0, len(pub.snap.Ranking)),
+		Causes:             make([]CauseJSON, 0, len(pub.causes)),
 		Metrics:            metricsJSON(pub.snap.Metrics),
+	}
+	for _, v := range pub.causes {
+		resp.Causes = append(resp.Causes, CauseJSON{
+			Kind:       string(v.Kind),
+			Server:     v.Server,
+			Confidence: v.Confidence,
+			Score:      v.Score,
+			Evidence:   v.Evidence,
+		})
 	}
 	for _, ss := range pub.snap.Ranking {
 		resp.Servers = append(resp.Servers, ServerRankJSON{
@@ -368,7 +406,7 @@ func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			emitDropped()
-			data, _ := json.Marshal(alertJSON(a))
+			data, _ := json.Marshal(alertJSON(a, s.verdictFor(a.Server)))
 			fmt.Fprintf(w, "event: alert\ndata: %s\n\n", data)
 			fl.Flush()
 		case <-r.Context().Done():

@@ -181,6 +181,21 @@ var promTable = []promMetric{
 		nodeGauge("tbdetect_agent_wal_segments", func(n NodeView) int64 { return n.WALSegments })},
 	{"tbdetect_agent_wal_spilling", "gauge", "Spill bit: 1 while this agent is absorbing backlog on disk beyond its send window.",
 		nodeGauge("tbdetect_agent_wal_spilling", func(n NodeView) int64 { return boolBit(n.Spilling) })},
+
+	// Root-cause attribution family: one sample per ranked verdict in
+	// the latest published snapshot (absent before the first snapshot or
+	// when no server congested enough to fingerprint).
+	{"tbdetect_cause_confidence", "gauge", "Root-cause verdict confidence from the latest published snapshot, labeled by server and cause kind.",
+		func(s *Server, _ stream.Metrics, w *strings.Builder) {
+			pub := s.snap.Load()
+			if pub == nil {
+				return
+			}
+			for _, v := range pub.causes {
+				fmt.Fprintf(w, "tbdetect_cause_confidence{server=%q,kind=%q} %g\n",
+					v.Server, v.Kind, v.Confidence)
+			}
+		}},
 }
 
 // nodeViews samples Config.Nodes, nil-safe.

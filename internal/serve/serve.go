@@ -39,6 +39,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"transientbd/internal/cause"
 	"transientbd/internal/stream"
 )
 
@@ -113,10 +114,16 @@ type NodeView struct {
 }
 
 // published is one snapshot publication: what the producer handed over
-// and when.
+// and when, plus the root-cause verdicts derived from it. The struct is
+// immutable after the atomic Store, so handlers read it lock-free.
 type published struct {
 	snap *stream.Snapshot
 	at   time.Time
+	// causes ranks the attribution engine's verdicts over the snapshot,
+	// most likely root cause first; topKind maps each server to its
+	// highest-ranked verdict kind (the SSE alert annotation).
+	causes  []cause.Verdict
+	topKind map[string]string
 }
 
 // Server is the HTTP serving layer. All exported methods are safe from
@@ -199,7 +206,37 @@ func (s *Server) PublishSnapshot(snap *stream.Snapshot) {
 	if snap == nil {
 		return
 	}
-	s.snap.Store(&published{snap: snap, at: s.cfg.Now()})
+	p := &published{snap: snap, at: s.cfg.Now(), causes: snapshotCauses(snap)}
+	p.topKind = make(map[string]string, len(p.causes))
+	for _, v := range p.causes {
+		// Causes are ranked, so the first verdict seen per server is its
+		// top one.
+		if _, ok := p.topKind[v.Server]; !ok {
+			p.topKind[v.Server] = string(v.Kind)
+		}
+	}
+	s.snap.Store(p)
+}
+
+// snapshotCauses runs the root-cause attribution engine over a merged
+// snapshot. It happens once per publication, on the producer goroutine —
+// never per request, never on the ingest path.
+func snapshotCauses(snap *stream.Snapshot) []cause.Verdict {
+	ss := make([]cause.Series, 0, len(snap.Ranking))
+	for _, r := range snap.Ranking {
+		ss = append(ss, cause.FromOnline(r.Server, r.OnlineSnapshot))
+	}
+	return cause.Attribute(ss, cause.Options{})
+}
+
+// verdictFor returns the top verdict kind for a server from the latest
+// published snapshot ("" before the first publication or when the
+// server has no verdict).
+func (s *Server) verdictFor(server string) string {
+	if pub := s.snap.Load(); pub != nil {
+		return pub.topKind[server]
+	}
+	return ""
 }
 
 // PublishAlert fans one alert out to every /alerts subscriber with a

@@ -201,6 +201,15 @@ func TestReportAndSeriesContent(t *testing.T) {
 	if rep.Metrics.Ingested != 50000 || rep.Metrics.WatermarkMicros != 12_000_000 {
 		t.Errorf("metrics block = %+v", rep.Metrics)
 	}
+	// The fixture's mysql-1 congests without a sharper fingerprint (8
+	// intervals are too few for periodicity), so the attribution engine
+	// must hand back a generic saturation verdict for it.
+	if len(rep.Causes) == 0 || rep.Causes[0].Kind != "saturation" || rep.Causes[0].Server != "mysql-1" {
+		t.Errorf("causes = %+v, want saturation@mysql-1 ranked first", rep.Causes)
+	}
+	if len(rep.Causes) > 0 && (rep.Causes[0].Confidence <= 0 || rep.Causes[0].Score <= 0) {
+		t.Errorf("top cause has non-positive confidence/score: %+v", rep.Causes[0])
+	}
 
 	var ser SeriesJSON
 	if err := json.Unmarshal(get(t, s.Handler(), "/servers/mysql-1/series").Body.Bytes(), &ser); err != nil {
@@ -269,6 +278,7 @@ func TestMetricNameStability(t *testing.T) {
 		"tbdetect_agent_wal_depth",
 		"tbdetect_agent_wal_segments",
 		"tbdetect_agent_wal_spilling",
+		"tbdetect_cause_confidence",
 	}
 	got := MetricNames()
 	if len(got) != len(want) {

@@ -53,9 +53,48 @@ func (b BurstConfig) EffectiveMultiplier() float64 {
 	return (off + on*b.Factor) / (off + on)
 }
 
+// OpenLoopConfig switches a Generator from the closed-loop population
+// model to an open Poisson arrival process: transactions arrive at a
+// configured rate regardless of how many are still in flight, so an
+// overloaded system sees its queues grow instead of its offered load
+// shrinking. Optional deterministic surges multiply the rate in
+// [k·SurgeEvery, k·SurgeEvery+SurgeLen) for every k ≥ 1.
+type OpenLoopConfig struct {
+	// Rate is the baseline arrival rate in transactions per second.
+	// Required.
+	Rate float64
+	// SurgeFactor multiplies Rate during surge windows; <= 1 disables
+	// surges.
+	SurgeFactor float64
+	// SurgeEvery is the surge period.
+	SurgeEvery simnet.Duration
+	// SurgeLen is the surge length; must be shorter than SurgeEvery.
+	SurgeLen simnet.Duration
+}
+
+func (o *OpenLoopConfig) surging(now simnet.Time) bool {
+	if o.SurgeFactor <= 1 || o.SurgeEvery <= 0 || o.SurgeLen <= 0 {
+		return false
+	}
+	k := simnet.Duration(now) / o.SurgeEvery
+	if k < 1 {
+		return false
+	}
+	return simnet.Duration(now)-k*o.SurgeEvery < o.SurgeLen
+}
+
+// rate returns the instantaneous arrival rate at now.
+func (o *OpenLoopConfig) rate(now simnet.Time) float64 {
+	if o.surging(now) {
+		return o.Rate * o.SurgeFactor
+	}
+	return o.Rate
+}
+
 // Config configures a Generator.
 type Config struct {
 	// Users is the closed-loop population size (the paper's WL number).
+	// Ignored when OpenLoop is set.
 	Users int
 	// ThinkMean is the mean exponential think time between a response and
 	// the next request. Defaults to 8.4 s, which together with the default
@@ -77,6 +116,9 @@ type Config struct {
 	Transitions map[string][]Transition
 	// RecordFrom drops RT samples issued before this time (ramp-up).
 	RecordFrom simnet.Time
+	// OpenLoop, when non-nil, replaces the closed-loop population with a
+	// Poisson arrival process; Users is ignored.
+	OpenLoop *OpenLoopConfig
 }
 
 // Transition is one weighted edge of the interaction Markov chain.
@@ -110,8 +152,11 @@ func NewGenerator(engine *simnet.Engine, rng *simnet.RNG, cfg Config) (*Generato
 	if rng == nil {
 		return nil, errors.New("workload: nil rng")
 	}
-	if cfg.Users <= 0 {
+	if cfg.Users <= 0 && cfg.OpenLoop == nil {
 		return nil, fmt.Errorf("workload: users must be positive, got %d", cfg.Users)
+	}
+	if cfg.OpenLoop != nil && cfg.OpenLoop.Rate <= 0 {
+		return nil, fmt.Errorf("workload: open-loop rate must be positive, got %v", cfg.OpenLoop.Rate)
 	}
 	if cfg.Submit == nil {
 		return nil, errors.New("workload: nil submit func")
@@ -170,6 +215,10 @@ type indexedTransition struct {
 func (g *Generator) Start() {
 	if g.cfg.Burst.enabled() {
 		g.scheduleBurstFlip()
+	}
+	if g.cfg.OpenLoop != nil {
+		g.scheduleArrival()
+		return
 	}
 	for u := 0; u < g.cfg.Users; u++ {
 		u := u
@@ -239,6 +288,45 @@ func (g *Generator) issue(user int) {
 			})
 		}
 		g.engine.Schedule(g.think(), func() { g.issue(user) })
+	})
+}
+
+// scheduleArrival arms the next open-loop arrival. The interarrival is
+// exponential at the instantaneous rate (surges and burst modulation
+// both raise it), re-evaluated at each arrival, so rate changes take
+// effect within one interarrival time.
+func (g *Generator) scheduleArrival() {
+	rate := g.cfg.OpenLoop.rate(g.engine.Now())
+	if g.cfg.Burst.enabled() && g.burstOn {
+		rate *= g.cfg.Burst.Factor
+	}
+	mean := simnet.Duration(float64(simnet.Second) / rate)
+	g.engine.Schedule(g.rng.Exp(mean), func() {
+		g.issueOpen()
+		g.scheduleArrival()
+	})
+}
+
+// issueOpen sends one open-loop transaction. Unlike the closed loop,
+// completion does not re-arm anything: the arrival process is blind to
+// system state.
+func (g *Generator) issueOpen() {
+	g.nextTxn++
+	txn := g.nextTxn
+	ix := &g.cfg.Mix[g.rng.Pick(g.weights)]
+	issued := g.engine.Now()
+	g.inFlight++
+	g.issued++
+	g.cfg.Submit(ix, txn, func() {
+		g.inFlight--
+		if issued >= g.cfg.RecordFrom {
+			g.samples = append(g.samples, RTSample{
+				TxnID:  txn,
+				Class:  ix.Name,
+				Issued: issued,
+				Done:   g.engine.Now(),
+			})
+		}
 	})
 }
 

@@ -273,6 +273,24 @@ func WriteFraction(mix []Interaction) float64 {
 	return writes / total
 }
 
+// ScaleQueryWork returns a deep copy of mix with every query's DB-side
+// CPU demand multiplied by factor, leaving the app/web-side work alone.
+// Scenario presets use it to shift the bottleneck toward the DB tier
+// without re-deriving a whole mix.
+func ScaleQueryWork(mix []Interaction, factor float64) []Interaction {
+	out := make([]Interaction, len(mix))
+	for i, ix := range mix {
+		out[i] = ix
+		qs := make([]Query, len(ix.Queries))
+		for j, q := range ix.Queries {
+			q.Work = simnet.Duration(float64(q.Work) * factor)
+			qs[j] = q
+		}
+		out[i].Queries = qs
+	}
+	return out
+}
+
 // DefaultBrowseTransitions returns a plausible navigation graph over the
 // browse-only mix, in the spirit of RUBBoS's client transition table:
 // landing pages lead to story views, story views to comments, searches to

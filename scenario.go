@@ -52,6 +52,48 @@ type Scenario struct {
 	// ThinkTime overrides the mean client think time (default 8.4 s).
 	// Longer think times shift the saturation knee to higher user counts.
 	ThinkTime time.Duration
+
+	// Preset selects one of the ground-truth battery scenarios (see
+	// ScenarioPresets): the canonical configuration for a single injected
+	// transient-bottleneck mechanism. Other Scenario fields still apply
+	// on top (a zero Users keeps the preset's population). Empty runs the
+	// plain testbed with no injected mechanism.
+	Preset string
+	// NoisyNeighborTarget co-locates a periodic full-machine CPU hog
+	// with the named server (e.g. "mysql-1"). The name must exist in the
+	// topology or RunScenario fails with an error listing the servers.
+	NoisyNeighborTarget string
+	// LockConvoyTarget serializes the named server (e.g. "cjdbc") behind
+	// a critical section with a periodic long hold. Same topology
+	// validation as NoisyNeighborTarget.
+	LockConvoyTarget string
+}
+
+// ScenarioPresets lists the ground-truth battery preset names usable in
+// Scenario.Preset, sorted.
+func ScenarioPresets() []string { return ntier.ScenarioNames() }
+
+// ScenarioPresetCause returns the ground-truth cause kind a preset
+// injects (the same vocabulary as CauseVerdict.Kind), or "" for an
+// unknown name.
+func ScenarioPresetCause(preset string) string {
+	return string(ntier.ScenarioCause(preset))
+}
+
+// TruthWindow is one [Start, End) span during which an injected
+// mechanism was actively degrading service.
+type TruthWindow struct {
+	Start, End time.Duration
+}
+
+// GroundTruthRecord is one machine-readable injection record from a
+// scenario run: which mechanism was active, which servers it targeted,
+// and when. Cause uses the same vocabulary as CauseVerdict.Kind, so
+// verdicts can be scored against the truth directly.
+type GroundTruthRecord struct {
+	Cause   string
+	Servers []string
+	Windows []TruthWindow
 }
 
 // ScenarioResult is the harvest of one simulated run.
@@ -69,18 +111,48 @@ type ScenarioResult struct {
 	WindowStart, WindowEnd time.Duration
 	// Servers lists server names, web tier first.
 	Servers []string
+	// Topology maps each server to the servers it calls, derived from
+	// the simulated testbed's tier structure — ready to pass as
+	// Config.Downstream so attribution can discount mirror congestion.
+	Topology map[string][]string
+	// GroundTruth lists one injection record per configured mechanism
+	// (empty when the scenario injected none) — the labels the
+	// attribution engine's verdicts are validated against.
+	GroundTruth []GroundTruthRecord
 }
 
 // RunScenario builds and runs the simulated testbed and returns its
 // trace in public form. The same engine validates the detection method in
 // the repository's experiment suite.
 func RunScenario(sc Scenario) (*ScenarioResult, error) {
-	cfg := ntier.Config{
-		Users:       sc.Users,
-		Duration:    simnet.FromStdDuration(sc.Duration),
-		Ramp:        simnet.FromStdDuration(sc.Ramp),
-		Seed:        sc.Seed,
-		DBSpeedStep: sc.DBSpeedStep,
+	var cfg ntier.Config
+	if sc.Preset != "" {
+		var err error
+		cfg, err = ntier.ScenarioPreset(sc.Preset, sc.Seed,
+			simnet.FromStdDuration(sc.Duration), simnet.FromStdDuration(sc.Ramp))
+		if err != nil {
+			return nil, fmt.Errorf("transientbd: %w", err)
+		}
+		if sc.Users > 0 {
+			cfg.Users = sc.Users
+		}
+		if sc.DBSpeedStep {
+			cfg.DBSpeedStep = true
+		}
+	} else {
+		cfg = ntier.Config{
+			Users:       sc.Users,
+			Duration:    simnet.FromStdDuration(sc.Duration),
+			Ramp:        simnet.FromStdDuration(sc.Ramp),
+			Seed:        sc.Seed,
+			DBSpeedStep: sc.DBSpeedStep,
+		}
+	}
+	if sc.NoisyNeighborTarget != "" {
+		cfg.Antagonist = &ntier.AntagonistConfig{Target: sc.NoisyNeighborTarget}
+	}
+	if sc.LockConvoyTarget != "" {
+		cfg.Convoy = &ntier.ConvoyConfig{Target: sc.LockConvoyTarget}
 	}
 	switch sc.AppCollector {
 	case CollectorNone:
@@ -119,6 +191,20 @@ func RunScenario(sc Scenario) (*ScenarioResult, error) {
 	for _, srv := range sys.AllServers() {
 		out.Servers = append(out.Servers, srv.Name())
 	}
+	out.Topology = topologyMap(sys)
+	for _, g := range res.GroundTruth {
+		rec := GroundTruthRecord{
+			Cause:   string(g.Cause),
+			Servers: append([]string(nil), g.Servers...),
+		}
+		for _, tw := range g.Windows {
+			rec.Windows = append(rec.Windows, TruthWindow{
+				Start: simnet.Std(simnet.Duration(tw.Start)),
+				End:   simnet.Std(simnet.Duration(tw.End)),
+			})
+		}
+		out.GroundTruth = append(out.GroundTruth, rec)
+	}
 	out.Records = make([]Record, 0, len(res.Visits))
 	for _, v := range res.Visits {
 		out.Records = append(out.Records, Record{
@@ -142,9 +228,37 @@ func AnalyzeScenario(sc Scenario) (*ScenarioResult, *Report, error) {
 	report, err := Analyze(res.Records, Config{
 		WindowStart: res.WindowStart,
 		WindowEnd:   res.WindowEnd,
+		Downstream:  res.Topology,
 	})
 	if err != nil {
 		return nil, nil, err
 	}
 	return res, report, nil
+}
+
+// topologyMap derives the caller→callee server map from the simulated
+// testbed's tier structure: web servers call the app tier, app servers
+// call the cluster tier, and the cluster middleware calls the DB tier.
+func topologyMap(sys *ntier.System) map[string][]string {
+	var apps, cls, dbs []string
+	for _, s := range sys.AppServers() {
+		apps = append(apps, s.Name())
+	}
+	for _, s := range sys.ClusterServers() {
+		cls = append(cls, s.Name())
+	}
+	for _, s := range sys.DBServers() {
+		dbs = append(dbs, s.Name())
+	}
+	m := make(map[string][]string)
+	for _, s := range sys.WebServers() {
+		m[s.Name()] = apps
+	}
+	for _, s := range sys.AppServers() {
+		m[s.Name()] = cls
+	}
+	for _, s := range sys.ClusterServers() {
+		m[s.Name()] = dbs
+	}
+	return m
 }

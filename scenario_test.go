@@ -1,6 +1,7 @@
 package transientbd
 
 import (
+	"strings"
 	"testing"
 	"time"
 )
@@ -110,6 +111,76 @@ func TestScenarioCollectorMapping(t *testing.T) {
 		}
 		if len(res.Records) == 0 {
 			t.Fatalf("collector %d: empty result", int(col))
+		}
+	}
+}
+
+func TestScenarioTopologyValidation(t *testing.T) {
+	base := Scenario{Users: 100, Duration: 5 * time.Second, Ramp: 2 * time.Second}
+
+	bad := base
+	bad.NoisyNeighborTarget = "mysql-9"
+	if _, err := RunScenario(bad); err == nil || !strings.Contains(err.Error(), "not in topology") {
+		t.Fatalf("bad antagonist target: got %v, want topology error listing servers", err)
+	}
+
+	bad = base
+	bad.LockConvoyTarget = "memcached"
+	if _, err := RunScenario(bad); err == nil || !strings.Contains(err.Error(), "not in topology") {
+		t.Fatalf("bad convoy target: got %v, want topology error listing servers", err)
+	}
+
+	if _, err := RunScenario(Scenario{Preset: "no-such-scenario"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown scenario") {
+		t.Fatalf("bad preset: got %v, want unknown-scenario error", err)
+	}
+}
+
+func TestScenarioPresetGroundTruth(t *testing.T) {
+	names := ScenarioPresets()
+	if len(names) != 6 {
+		t.Fatalf("ScenarioPresets() = %v, want 6 battery scenarios", names)
+	}
+	for _, name := range names {
+		if ScenarioPresetCause(name) == "" {
+			t.Errorf("preset %q has no cause kind", name)
+		}
+	}
+	if ScenarioPresetCause("no-such-scenario") != "" {
+		t.Error("unknown preset should map to empty cause")
+	}
+
+	// One short preset run end to end: the injection log must come back
+	// as public ground truth with the preset's cause kind and target.
+	res, err := RunScenario(Scenario{
+		Preset:   "noisy-neighbor",
+		Users:    300, // override the canonical 7000 to keep the test fast
+		Duration: 15 * time.Second,
+		Ramp:     3 * time.Second,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.GroundTruth) != 1 {
+		t.Fatalf("ground truth records = %d, want 1", len(res.GroundTruth))
+	}
+	gt := res.GroundTruth[0]
+	if gt.Cause != ScenarioPresetCause("noisy-neighbor") {
+		t.Errorf("cause = %q, want %q", gt.Cause, ScenarioPresetCause("noisy-neighbor"))
+	}
+	if len(gt.Servers) != 1 || gt.Servers[0] != "mysql-1" {
+		t.Errorf("servers = %v, want [mysql-1]", gt.Servers)
+	}
+	if len(gt.Windows) == 0 {
+		t.Fatal("no injection windows recorded")
+	}
+	for i, w := range gt.Windows {
+		if w.End <= w.Start {
+			t.Errorf("window %d: end %v <= start %v", i, w.End, w.Start)
+		}
+		if w.Start < 0 || w.End > 18*time.Second {
+			t.Errorf("window %d [%v,%v) outside the run", i, w.Start, w.End)
 		}
 	}
 }

@@ -256,6 +256,11 @@ func compareReports(t *testing.T, want, got *Report) {
 			t.Errorf("ranking[%d]: stream has %q, batch has %q", i, rankName(got.Ranking, i), want.Ranking[i].Server)
 		}
 	}
+	// Root-cause verdicts ride the same contract: batch and stream must
+	// attribute the same feed field-identically, Evidence strings included.
+	if !reflect.DeepEqual(got.Causes, want.Causes) {
+		t.Errorf("cause verdicts diverge:\nstream %+v\nbatch  %+v", got.Causes, want.Causes)
+	}
 }
 
 func rankName(rs []*ServerAnalysis, i int) string {
